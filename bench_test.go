@@ -1,0 +1,189 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per artifact.
+//
+// The Fig7 benchmarks are genuine micro-benchmarks of the per-packet
+// data-path operations (ns/op is directly comparable to the paper's
+// Figure 7 table). The macro benchmarks (Fig8-Fig14, Theorem) each run
+// one full simulation cell at tiny scale per iteration; run them with
+// -benchtime=1x for a single regeneration, and use cmd/netfence-sim for
+// the full tables at larger scales:
+//
+//	go test -bench . -benchmem -benchtime=1x
+package netfence_test
+
+import (
+	"testing"
+
+	"netfence/internal/cmac"
+	"netfence/internal/exp"
+	"netfence/internal/feedback"
+	"netfence/internal/header"
+	"netfence/internal/packet"
+)
+
+// --- Figure 7: per-packet processing overhead (micro) ---
+
+func fig7Keys() (*feedback.KeyRing, *cmac.CMAC, feedback.KaiLookup) {
+	var ka, kaiKey cmac.Key
+	ka[0], kaiKey[0] = 1, 2
+	kai := cmac.New(kaiKey)
+	return feedback.NewKeyRingFromKey(ka), kai, func(packet.LinkID) *cmac.CMAC { return kai }
+}
+
+// BenchmarkFig7AccessRequest measures the access router stamping nop
+// feedback into a request packet (paper: 546 ns).
+func BenchmarkFig7AccessRequest(b *testing.B) {
+	ring, _, _ := fig7Keys()
+	var buf [header.MaxSize]byte
+	h := header.Header{Ver: header.Version, Request: true, Proto: packet.ProtoTCP}
+	header.Encode(buf[:], &h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := header.AccessStampRequest(buf[:], ring, 10, 20, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7BottleneckRequestAttack measures a monitored bottleneck
+// stamping L-down into a request packet (paper: 492 ns).
+func BenchmarkFig7BottleneckRequestAttack(b *testing.B) {
+	ring, kai, _ := fig7Keys()
+	var buf [header.MaxSize]byte
+	h := header.Header{Ver: header.Version, Request: true, Proto: packet.ProtoTCP}
+	header.Encode(buf[:], &h)
+	header.AccessStampRequest(buf[:], ring, 10, 20, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		header.AccessStampRequest(buf[:], ring, 10, 20, 100) // restore nop
+		if _, _, err := header.BottleneckStampMon(buf[:], kai, 7, 10, 20, true, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7BottleneckRegularAttack measures L-up being overwritten
+// with L-down on a regular packet (paper: 554 ns).
+func BenchmarkFig7BottleneckRegularAttack(b *testing.B) {
+	ring, kai, _ := fig7Keys()
+	var buf [header.MaxSize]byte
+	mk := func() int {
+		p := packet.Packet{Src: 10, Dst: 20}
+		feedback.StampIncr(ring.Current(), &p, 100, 7)
+		h := header.Header{Ver: header.Version, Proto: packet.ProtoTCP, FB: p.FB}
+		return header.Encode(buf[:], &h)
+	}
+	mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mk()
+		if _, _, err := header.BottleneckStampMon(buf[:], kai, 7, 10, 20, true, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7AccessRegularIdle measures validating and refreshing nop
+// feedback on a regular packet outside attack times (paper: 781 ns).
+func BenchmarkFig7AccessRegularIdle(b *testing.B) {
+	ring, _, lookup := fig7Keys()
+	var buf [header.MaxSize]byte
+	p := packet.Packet{Src: 10, Dst: 20}
+	feedback.StampNop(ring.Current(), &p, 100)
+	h := header.Header{Ver: header.Version, Proto: packet.ProtoTCP, FB: p.FB}
+	header.Encode(buf[:], &h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := header.AccessProcessRegular(buf[:], ring, lookup, 10, 20, 100, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7AccessRegularAttack measures the heaviest path: validate
+// presented L-down (token_nop recomputation + Eq. 3) and restamp L-up
+// with a fresh token_nop (paper: 1267 ns).
+func BenchmarkFig7AccessRegularAttack(b *testing.B) {
+	ring, kai, lookup := fig7Keys()
+	var buf [header.MaxSize]byte
+	mk := func() int {
+		p := packet.Packet{Src: 10, Dst: 20}
+		feedback.StampNop(ring.Current(), &p, 100)
+		feedback.StampDecr(kai, &p, 7)
+		h := header.Header{Ver: header.Version, Proto: packet.ProtoTCP, FB: p.FB}
+		return header.Encode(buf[:], &h)
+	}
+	mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mk()
+		if _, _, err := header.AccessProcessRegular(buf[:], ring, lookup, 10, 20, 100, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Macro benchmarks: one simulation cell per iteration (tiny scale) ---
+
+// benchResult keeps results alive so the compiler cannot elide the runs.
+var benchResult string
+
+func benchRunner(b *testing.B, name string) {
+	b.Helper()
+	r, err := exp.RunnerByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := r.Run(exp.Tiny)
+		benchResult = res.Table()
+	}
+}
+
+// BenchmarkFig8 regenerates the unwanted-traffic flooding table.
+func BenchmarkFig8(b *testing.B) { benchRunner(b, "fig8") }
+
+// BenchmarkFig9a regenerates the long-running-TCP collusion table.
+func BenchmarkFig9a(b *testing.B) { benchRunner(b, "fig9a") }
+
+// BenchmarkFig9b regenerates the web-traffic collusion table.
+func BenchmarkFig9b(b *testing.B) { benchRunner(b, "fig9b") }
+
+// BenchmarkFig10 regenerates the parking-lot table (core design).
+func BenchmarkFig10(b *testing.B) { benchRunner(b, "fig10") }
+
+// BenchmarkFig11 regenerates the on-off attack table.
+func BenchmarkFig11(b *testing.B) { benchRunner(b, "fig11") }
+
+// BenchmarkFig13 regenerates the B.1 multi-feedback parking-lot table.
+func BenchmarkFig13(b *testing.B) { benchRunner(b, "fig13") }
+
+// BenchmarkFig14 regenerates the B.2 inference parking-lot table.
+func BenchmarkFig14(b *testing.B) { benchRunner(b, "fig14") }
+
+// BenchmarkTheorem regenerates the fair-share bound check.
+func BenchmarkTheorem(b *testing.B) { benchRunner(b, "theorem") }
+
+// BenchmarkHeaderSizes regenerates the §6.1 size table.
+func BenchmarkHeaderSizes(b *testing.B) { benchRunner(b, "header") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: packet
+// events per second through a NetFence-protected bottleneck under the
+// tiny collusion workload. Useful for sizing larger scales.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	r, err := exp.RunnerByName("fig9a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := exp.Tiny
+	sc.Labels = []int{100_000}
+	for i := 0; i < b.N; i++ {
+		res := r.Run(sc)
+		benchResult = res.Table()
+	}
+}

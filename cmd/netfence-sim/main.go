@@ -1,0 +1,68 @@
+// Command netfence-sim regenerates the tables and figures of the
+// NetFence paper's evaluation (§6) on the packet-level simulator.
+//
+// Usage:
+//
+//	netfence-sim -list
+//	netfence-sim -exp fig9a -scale small
+//	netfence-sim -all -scale tiny
+//
+// Scales: tiny (seconds of wall time, CI), small (default, minutes),
+// paper (the full 1000-sender, 4000-simulated-second configuration —
+// expect a long run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netfence/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "", "experiment to run (see -list)")
+		scale   = flag.String("scale", "small", "tiny | small | paper")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range exp.Runners() {
+			fmt.Printf("%-18s %s\n", r.Name, r.Brief)
+		}
+		return
+	}
+
+	sc, err := exp.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var runners []exp.Runner
+	switch {
+	case *all:
+		runners = exp.Runners()
+	case *expName != "":
+		r, err := exp.RunnerByName(*expName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []exp.Runner{r}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(sc)
+		fmt.Println(res.Table())
+		fmt.Printf("(%s, scale=%s, %.1fs wall)\n\n", r.Name, sc.Name, time.Since(start).Seconds())
+	}
+}

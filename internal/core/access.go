@@ -1,0 +1,360 @@
+package core
+
+import (
+	"netfence/internal/cmac"
+	"netfence/internal/feedback"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/ratelimit"
+	"netfence/internal/sim"
+)
+
+// AccessRouter is NetFence's policing function at the trust boundary
+// between the network and end systems. It validates presented congestion
+// policing feedback, polices request packets with per-sender priority
+// token buckets (§4.2), polices regular packets with per-(sender,
+// bottleneck) leaky-bucket rate limiters adjusted by the robust AIMD
+// algorithm (§4.3.3-§4.3.4), and restamps feedback on forwarding.
+type AccessRouter struct {
+	sys  *System
+	node *netsim.Node
+	ring *feedback.KeyRing
+
+	reqLims map[packet.NodeID]*ratelimit.RequestLimiter
+	regLims map[regKey]*regLimiter
+
+	// pathASCache memoizes the AS-level path per destination for
+	// Passport stamping.
+	pathASCache map[packet.NodeID][]packet.ASID
+
+	// destLinks is the Appendix B.2 inference cache: bottleneck links
+	// observed on the path toward each destination.
+	destLinks map[packet.NodeID][]packet.LinkID
+
+	// Counters for tests and metrics.
+	ReqAdmitted, ReqDropped   uint64
+	Demoted                   uint64
+	LimiterDrops, LimiterPass uint64
+	QuotaDrops                uint64
+}
+
+type regKey struct {
+	src  packet.NodeID
+	link packet.LinkID
+}
+
+// regLimiter is one (sender, bottleneck link) rate limiter with its AIMD
+// state (Figure 17), including the starred flags of the Appendix B.2
+// inference variant.
+type regLimiter struct {
+	ar  *AccessRouter
+	key regKey
+	// pol is the policing strategy: the paper's leaky-bucket queue, or
+	// the token-bucket variant when Config.TokenBucketLimiter is set
+	// (the ablation of the §4.3.3 design choice).
+	pol  ratelimit.Policer
+	aimd ratelimit.AIMD
+
+	ts       uint32 // control interval start, whole seconds
+	hasIncr  bool
+	lastDecr sim.Time
+	created  sim.Time
+	ticker   *sim.Ticker
+
+	// Appendix B.2 state.
+	hasIncrStar  bool
+	isActive     bool
+	isActiveStar bool
+
+	// Congestion-quota state (§7): bytes forwarded during intervals that
+	// followed a multiplicative decrease count against the quota.
+	lastAdjustMD bool
+	quotaUsed    int64
+	quotaStart   sim.Time
+}
+
+// ProtectAccess installs NetFence's access functions on r, policing
+// packets that arrive from r's directly attached hosts.
+func (s *System) ProtectAccess(r *netsim.Node) {
+	ar := &AccessRouter{
+		sys:         s,
+		node:        r,
+		ring:        feedback.NewKeyRing(r.Network().Eng.Rand),
+		reqLims:     make(map[packet.NodeID]*ratelimit.RequestLimiter),
+		regLims:     make(map[regKey]*regLimiter),
+		pathASCache: make(map[packet.NodeID][]packet.ASID),
+		destLinks:   make(map[packet.NodeID][]packet.LinkID),
+	}
+	r.Network().Eng.Tick(s.Cfg.KeyRotate, func() {
+		ar.ring.Rotate(r.Network().Eng.Rand)
+	})
+	r.Ingress = ar.ingress
+	s.accesses[r.ID] = ar
+}
+
+// Access returns the access router installed on node r, or nil.
+func (s *System) Access(r *netsim.Node) *AccessRouter { return s.accesses[r.ID] }
+
+// Limiter returns the (src, link) rate limiter, or nil.
+func (ar *AccessRouter) Limiter(src packet.NodeID, link packet.LinkID) ratelimit.Policer {
+	if lim, ok := ar.regLims[regKey{src, link}]; ok {
+		return lim.pol
+	}
+	return nil
+}
+
+// LimiterCount returns the number of live (sender, bottleneck) limiters —
+// the access-router state the scalability analysis of §5.1 bounds.
+func (ar *AccessRouter) LimiterCount() int { return len(ar.regLims) }
+
+// ingress intercepts arrivals at the access router; only packets from
+// directly attached hosts of this AS are policed.
+func (ar *AccessRouter) ingress(p *packet.Packet, from *netsim.Link) bool {
+	if from == nil || !from.From.IsHost || from.From.AS != ar.node.AS {
+		return true
+	}
+	return ar.police(p)
+}
+
+// police implements router.rate_limit_packet of Figure 18.
+func (ar *AccessRouter) police(p *packet.Packet) bool {
+	if p.Kind == packet.KindLegacy {
+		return true
+	}
+	if p.Kind == packet.KindRequest {
+		return ar.handleRequest(p)
+	}
+	if ar.sys.Cfg.MultiFeedback {
+		return ar.policeMulti(p)
+	}
+	nowSec := ar.node.Network().NowSec()
+	switch feedback.Validate(ar.ring, ar.kaiLookup, p, nowSec, ar.sys.Cfg.WSec) {
+	case feedback.ValidNop:
+		feedback.StampNop(ar.ring.Current(), p, nowSec)
+		ar.stampPassport(p)
+		return true
+	case feedback.ValidMon:
+		link := p.FB.Link
+		if ar.sys.Cfg.InferLimiters {
+			return ar.policeInferred(p, link)
+		}
+		lim := ar.limiter(p.Src, link)
+		lim.updateStatus(p.FB.Action, p.FB.TS)
+		return ar.submit(lim, p)
+	default:
+		// Invalid feedback: treat as a request packet (§4.4).
+		ar.Demoted++
+		p.Kind = packet.KindRequest
+		p.Prio = 0
+		return ar.handleRequest(p)
+	}
+}
+
+// handleRequest polices a request packet (Figure 15) and stamps nop
+// feedback on success (§4.2).
+func (ar *AccessRouter) handleRequest(p *packet.Packet) bool {
+	now := ar.node.Network().Eng.Now()
+	rl := ar.reqLims[p.Src]
+	if rl == nil {
+		rl = ratelimit.NewRequestLimiter(now)
+		rl.RatePerSec = ar.sys.Cfg.TokenRatePerSec
+		rl.Depth = ar.sys.Cfg.TokenDepth
+		ar.reqLims[p.Src] = rl
+	}
+	if p.Prio > ar.sys.Cfg.MaxPrioLevel {
+		p.Prio = ar.sys.Cfg.MaxPrioLevel
+	}
+	if !rl.Admit(p.Prio, now) {
+		ar.ReqDropped++
+		return false
+	}
+	ar.ReqAdmitted++
+	if ar.sys.Cfg.MultiFeedback {
+		ar.stampMultiNop(p)
+	} else {
+		feedback.StampNop(ar.ring.Current(), p, ar.node.Network().NowSec())
+	}
+	ar.stampPassport(p)
+	return true
+}
+
+// submit passes p through a limiter's leaky bucket; Cached packets are
+// re-injected by the limiter's forward callback. Feedback is restamped
+// when the packet actually departs ("when an access router FORWARDS a
+// regular packet to the next hop, it resets the congestion policing
+// feedback", §4.3.3) — stamping before the cache would hand out stale
+// timestamps after queueing delay, denying backlogged senders the fresh
+// L-up their good intervals earned.
+func (ar *AccessRouter) submit(lim *regLimiter, p *packet.Packet) bool {
+	if lim.quotaExceeded() {
+		// Congestion quota spent (§7): the sender has pushed too much
+		// traffic through this bottleneck while congesting it.
+		ar.QuotaDrops++
+		return false
+	}
+	switch lim.pol.Submit(p) {
+	case ratelimit.Pass:
+		ar.LimiterPass++
+		lim.stampForward(p)
+		return true
+	case ratelimit.Cached:
+		return false // forwarded later
+	default:
+		ar.LimiterDrops++
+		return false
+	}
+}
+
+// quotaExceeded applies the §7 congestion quota: within each quota
+// window, only CongestionQuotaBytes of "congestion traffic" (bytes
+// forwarded while the rate limit was decreasing) may pass.
+func (l *regLimiter) quotaExceeded() bool {
+	cfg := &l.ar.sys.Cfg
+	if cfg.CongestionQuotaBytes <= 0 {
+		return false
+	}
+	now := l.ar.node.Network().Eng.Now()
+	if now-l.quotaStart > cfg.QuotaWindow {
+		l.quotaStart = now
+		l.quotaUsed = 0
+	}
+	return l.quotaUsed >= cfg.CongestionQuotaBytes
+}
+
+// stampForward writes the departure-time feedback and Passport trailer,
+// and charges the congestion quota while the limit is decreasing.
+func (l *regLimiter) stampForward(p *packet.Packet) {
+	ar := l.ar
+	if l.lastAdjustMD {
+		l.quotaUsed += int64(p.Size)
+	}
+	if ar.sys.Cfg.MultiFeedback {
+		ar.stampMultiNop(p)
+	} else {
+		nowSec := ar.node.Network().NowSec()
+		feedback.StampIncr(ar.ring.Current(), p, nowSec, l.key.link)
+	}
+	ar.stampPassport(p)
+}
+
+// limiter returns (creating on demand) the rate limiter for (src, link).
+func (ar *AccessRouter) limiter(src packet.NodeID, link packet.LinkID) *regLimiter {
+	key := regKey{src, link}
+	if lim, ok := ar.regLims[key]; ok {
+		return lim
+	}
+	eng := ar.node.Network().Eng
+	lim := &regLimiter{
+		ar:  ar,
+		key: key,
+		aimd: ratelimit.AIMD{
+			DeltaBps: ar.sys.Cfg.DeltaBps,
+			MD:       ar.sys.Cfg.MD,
+			MinBps:   ar.sys.Cfg.MinRateBps,
+		},
+		ts:      ar.node.Network().NowSec(),
+		created: eng.Now(),
+	}
+	if ar.sys.Cfg.TokenBucketLimiter {
+		lim.pol = ratelimit.NewTokenLimiter(eng, ar.sys.Cfg.InitialRateBps,
+			ar.sys.Cfg.TokenBurstSec)
+	} else {
+		lim.pol = ratelimit.NewLeakyLimiter(eng, ar.sys.Cfg.InitialRateBps,
+			ar.sys.Cfg.MaxCacheDelay, func(p *packet.Packet) {
+				lim.stampForward(p)
+				ar.node.Network().Forward(ar.node, p)
+			})
+	}
+	lim.quotaStart = eng.Now()
+	lim.ticker = eng.Tick(ar.sys.Cfg.Ilim, lim.adjust)
+	ar.regLims[key] = lim
+	return lim
+}
+
+// updateStatus folds a presented feedback into the limiter's control
+// state (Figure 17's update_status).
+func (l *regLimiter) updateStatus(action packet.FBAction, ts uint32) {
+	l.isActive = true
+	if ts >= l.ts && action == packet.ActIncr {
+		l.hasIncr = true
+	}
+	if action == packet.ActDecr {
+		l.lastDecr = l.ar.node.Network().Eng.Now()
+	}
+}
+
+// adjust runs once per control interval (Figure 17's adjust_rate_limit,
+// or the four-rule variant of Appendix B.2 when inference is enabled).
+func (l *regLimiter) adjust() {
+	cfg := &l.ar.sys.Cfg
+	tput := l.pol.TakeIntervalThroughput(cfg.Ilim)
+	old := l.pol.Rate()
+	var next int64
+	if cfg.InferLimiters {
+		switch {
+		case l.hasIncr || l.hasIncrStar:
+			next = l.aimd.Adjust(old, true, tput)
+		case l.isActive:
+			next = l.aimd.Adjust(old, false, tput)
+		case l.isActiveStar:
+			next = old // hold: other links' feedback masks this one
+		default:
+			next = l.aimd.Adjust(old, false, tput)
+		}
+	} else {
+		next = l.aimd.Adjust(old, l.hasIncr, tput)
+	}
+	if next != old {
+		l.pol.SetRate(next)
+	}
+	l.lastAdjustMD = next < old
+	l.hasIncr = false
+	l.hasIncrStar = false
+	l.isActive = false
+	l.isActiveStar = false
+	l.ts = l.ar.node.Network().NowSec()
+	l.maybeExpire()
+}
+
+// maybeExpire removes the limiter after Ta without L-down feedback and
+// without limiter drops (§4.3.1).
+func (l *regLimiter) maybeExpire() {
+	cfg := &l.ar.sys.Cfg
+	now := l.ar.node.Network().Eng.Now()
+	ref := l.created
+	if l.lastDecr > ref {
+		ref = l.lastDecr
+	}
+	if d := l.pol.LastDropAt(); d > ref {
+		ref = d
+	}
+	if now-ref > cfg.LimiterIdle && l.pol.Backlog() == 0 {
+		l.ticker.Stop()
+		l.pol.Stop()
+		delete(l.ar.regLims, l.key)
+	}
+}
+
+// kaiLookup resolves the key shared between this access router's AS and
+// the AS owning a link — the paper's IP-to-AS mapping plus the Passport
+// key table (§4.4).
+func (ar *AccessRouter) kaiLookup(link packet.LinkID) *cmac.CMAC {
+	l := ar.node.Network().LinkByID(link)
+	if l == nil {
+		return nil
+	}
+	return ar.sys.Registry.Key(ar.node.AS, l.From.AS)
+}
+
+// stampPassport writes the Passport trailer when enabled.
+func (ar *AccessRouter) stampPassport(p *packet.Packet) {
+	if !ar.sys.Cfg.Passport {
+		return
+	}
+	path, ok := ar.pathASCache[p.Dst]
+	if !ok {
+		path = ar.node.Network().PathASes(ar.node.ID, p.Dst)
+		ar.pathASCache[p.Dst] = path
+	}
+	ar.sys.Registry.Stamp(p, path)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"netfence/internal/aqm"
+	"netfence/internal/feedback"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/queue"
+	"netfence/internal/sim"
+)
+
+// Bottleneck is the NetFence machinery attached to one link: the
+// three-channel queue, the attack detector driving the monitoring cycle
+// (§4.3.1), and the congestion policing feedback stamper (§4.3.2).
+type Bottleneck struct {
+	sys  *System
+	link *netsim.Link
+	q    *nfQueue
+	det  *aqm.LossDetector
+	util *aqm.UtilDetector
+
+	monActive  bool
+	monStarted sim.Time
+	lastAttack sim.Time
+
+	// prevReg detects fresh regular-channel drops when the per-AS
+	// fallback replaces RED (whose own congestion clock then stops).
+	prevReg     queue.Stats
+	fbCongested sim.Time
+
+	// MonCycles counts monitoring cycles started, for tests/metrics.
+	MonCycles int
+}
+
+// protect wires the bottleneck machinery onto l.
+func (s *System) protect(l *netsim.Link) *Bottleneck {
+	b := &Bottleneck{
+		sys:  s,
+		link: l,
+		q:    newNFQueue(&s.Cfg, l.Rate, l.From.Network().Eng.Rand),
+		det:  &aqm.LossDetector{Pth: s.Cfg.Pth, Alpha: 0.1},
+	}
+	if s.Cfg.UtilDetect {
+		b.util = aqm.NewUtilDetector(l.Rate)
+		b.util.Threshold = s.Cfg.UtilThreshold
+	}
+	if s.Cfg.Passport && s.Registry != nil {
+		b.q.verify = func(p *packet.Packet) bool {
+			if p.SrcAS == l.From.AS {
+				return true // intra-AS traffic carries no trailer here
+			}
+			return s.Registry.Verify(p, l.From.AS)
+		}
+	}
+	l.Q = b.q
+	l.OnTransmit = b.onTransmit
+	l.From.Network().Eng.Tick(s.Cfg.DetectInterval, b.detectTick)
+	return b
+}
+
+// Monitoring reports whether the link is in a monitoring cycle.
+func (b *Bottleneck) Monitoring() bool { return b.monActive }
+
+// FallbackActive reports whether per-AS queuing has engaged (§4.5).
+func (b *Bottleneck) FallbackActive() bool { return b.q.fallbackActive() }
+
+// LossRate returns the smoothed regular-channel loss rate.
+func (b *Bottleneck) LossRate() float64 { return b.det.Rate() }
+
+// StartMonitoring forces a monitoring cycle open (tests and the
+// utilization-based detection path).
+func (b *Bottleneck) StartMonitoring() {
+	now := b.link.From.Network().Eng.Now()
+	if !b.monActive {
+		b.monActive = true
+		b.monStarted = now
+		b.MonCycles++
+	}
+	b.lastAttack = now
+}
+
+// detectTick runs the Figure 19 attack detector and maintains the
+// monitoring cycle and the §4.5 fallback.
+func (b *Bottleneck) detectTick() {
+	now := b.link.From.Network().Eng.Now()
+	reg := b.q.RegularStats()
+	if reg.Dropped > b.prevReg.Dropped {
+		b.fbCongested = now
+	}
+	b.prevReg = reg
+	attacked := b.det.Sample(reg)
+	if b.util != nil && b.util.Sample(b.link.TxBytes, now) {
+		attacked = true
+	}
+	if attacked {
+		if !b.monActive {
+			b.monActive = true
+			b.monStarted = now
+			b.MonCycles++
+		}
+		b.lastAttack = now
+		if b.sys.Cfg.PerASFallback && !b.q.fallbackActive() &&
+			now-b.monStarted > b.sys.Cfg.FallbackAfter {
+			// Congestion persists despite the monitoring cycle: a sign of
+			// malfunctioning (compromised) access routers. Localize the
+			// damage with per-source-AS queuing.
+			b.q.enableFallback(now, b.link.From.Network().Eng.Now)
+		}
+	} else if b.monActive && now-b.lastAttack > b.sys.Cfg.MonitorHold {
+		b.monActive = false
+	}
+}
+
+// overloaded is the rule-3 predicate of §4.3.2 with the Figure 4
+// hysteresis: the link counts as overloaded from the moment congestion is
+// observed until two control intervals after it last abated, which
+// guarantees a sender that congests the link cannot obtain L-up feedback
+// for a full control interval. In fallback mode congestion is charged
+// per source AS, so an AS overflowing its own queue cannot force L-down
+// onto well-behaved ASes' senders (§4.5).
+func (b *Bottleneck) overloaded(now sim.Time) bool {
+	last, seen := b.q.lastCongested()
+	h := sim.Time(b.sys.Cfg.HysteresisIntervals) * b.sys.Cfg.Ilim
+	return seen && now <= last+h
+}
+
+func (b *Bottleneck) overloadedFor(p *packet.Packet, now sim.Time) bool {
+	if b.q.fallbackActive() {
+		last, seen := b.q.lastCongestedForAS(p.SrcAS)
+		h := sim.Time(b.sys.Cfg.HysteresisIntervals) * b.sys.Cfg.Ilim
+		return seen && now <= last+h
+	}
+	return b.overloaded(now)
+}
+
+// onTransmit updates the congestion policing feedback of packets leaving
+// through the monitored link, applying the ordered rules of §4.3.2.
+func (b *Bottleneck) onTransmit(p *packet.Packet, l *netsim.Link) {
+	if !b.monActive || p.Kind == packet.KindLegacy {
+		return
+	}
+	now := l.From.Network().Eng.Now()
+	if b.sys.Cfg.MultiFeedback {
+		b.stampMulti(p, now)
+		return
+	}
+	switch {
+	case p.FB.Mode == packet.FBNop:
+		// Rule 1: nop is always replaced by L-down in the mon state.
+	case p.FB.Action == packet.ActDecr:
+		// Rule 2: never overwrite an upstream link's L-down.
+		return
+	case !b.overloadedFor(p, now):
+		// Rule 3 negative: leave L-up feedback alone.
+		return
+	}
+	kai := b.sys.kaiForSender(p.SrcAS, l.From.AS)
+	if kai == nil {
+		return
+	}
+	feedback.StampDecr(kai, p, l.ID)
+}

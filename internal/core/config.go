@@ -1,0 +1,156 @@
+// Package core implements NetFence itself: the access-router policing
+// functions (§4.2, §4.3.3, §4.3.4), the bottleneck-router monitoring
+// cycle and feedback stamping (§4.3.1, §4.3.2), the end-host shim layer
+// (§3.1), damage localization for compromised ASes (§4.5), and the two
+// Appendix B extensions for multiple bottlenecks.
+package core
+
+import (
+	"netfence/internal/sim"
+)
+
+// Config carries every NetFence parameter. Defaults follow Figure 3 of
+// the paper; the monitoring-cycle hold times, which the paper sets to "a
+// few hours" in deployment, default to values proportionate to simulated
+// experiment lengths and are overridden per scale.
+type Config struct {
+	// TokenRatePerSec is the request-limiter refill rate (Figure 3:
+	// l1 = 1 ms per token, i.e. 1000 tokens/s).
+	TokenRatePerSec float64
+	// TokenDepth caps accumulated request tokens.
+	TokenDepth float64
+	// Ilim is the rate-limiter control interval (Figure 3: 2 s).
+	Ilim sim.Time
+	// WSec is the feedback expiration time w in seconds (Figure 3: 4 s).
+	WSec uint32
+	// DeltaBps is the AIMD additive increase (Figure 3: 12 kbps).
+	DeltaBps int64
+	// MD is the AIMD multiplicative decrease delta (Figure 3: 0.1).
+	MD float64
+	// MinRateBps floors rate limits.
+	MinRateBps int64
+	// InitialRateBps seeds fresh rate limiters. The paper does not state
+	// a value; 100 kbps sits mid-range of its 50-400 kbps target region.
+	InitialRateBps int64
+	// MaxCacheDelay bounds the leaky limiter's packet-caching delay
+	// (Figure 16's caching_delay_too_long).
+	MaxCacheDelay sim.Time
+
+	// Pth is the attack-detection loss threshold (Figure 3: 2%).
+	Pth float64
+	// DetectInterval is how often a router samples its loss detector.
+	DetectInterval sim.Time
+	// MonitorHold is Tb: a monitoring cycle persists this long after the
+	// last attack sign (paper: a few hours).
+	MonitorHold sim.Time
+	// HysteresisIntervals is how many control intervals past the last
+	// congestion instant a router keeps stamping L-down. Footnote 1 of
+	// the paper proves 2 is the minimum robust value; the ablation
+	// experiment shows what smaller values cost.
+	HysteresisIntervals int
+	// LimiterIdle is Ta: an idle rate limiter is removed after this long
+	// without L-down feedback or limiter drops.
+	LimiterIdle sim.Time
+
+	// RequestCapFrac caps the request channel's share of link capacity
+	// (§4.2: 5%).
+	RequestCapFrac float64
+	// MaxPrioLevel bounds request priority levels.
+	MaxPrioLevel uint8
+
+	// KeyRotate is the access-router secret rotation period; it must
+	// exceed the feedback expiration window.
+	KeyRotate sim.Time
+
+	// EchoInterval is how often a receiver of one-way traffic sends
+	// dedicated low-rate feedback packets (§3.1 step 4).
+	EchoInterval sim.Time
+
+	// PerASFallback enables §4.5 damage localization: if congestion
+	// persists FallbackAfter into a monitoring cycle, the regular channel
+	// switches to per-source-AS fair queuing.
+	PerASFallback bool
+	FallbackAfter sim.Time
+
+	// MultiFeedback enables the Appendix B.1 extension: packets carry
+	// feedback from every bottleneck on the path.
+	MultiFeedback bool
+	// InferLimiters enables the Appendix B.2 extension: access routers
+	// infer on-path bottlenecks per destination and police through all
+	// inferred limiters.
+	InferLimiters bool
+
+	// Passport enables per-packet source-AS authentication stamping at
+	// access routers and verification at bottleneck routers.
+	Passport bool
+
+	// TokenBucketLimiter replaces the leaky-bucket regular limiter with
+	// a token bucket of TokenBurstSec seconds of credit — the design the
+	// paper rejects; kept for the ablation that demonstrates why
+	// (§4.3.3, §5.2.1 on-off attacks).
+	TokenBucketLimiter bool
+	TokenBurstSec      float64
+
+	// CongestionQuotaBytes, when positive, enables the §7 congestion
+	// quota: per (sender, bottleneck), at most this many bytes of
+	// congestion traffic (forwarded while the rate limit was decreasing)
+	// may pass per QuotaWindow.
+	CongestionQuotaBytes int64
+	QuotaWindow          sim.Time
+
+	// UtilDetect additionally starts monitoring cycles when smoothed
+	// link utilization exceeds UtilThreshold — the well-provisioned-link
+	// detector of §4.3.1.
+	UtilDetect    bool
+	UtilThreshold float64
+}
+
+// DefaultConfig returns the Figure 3 parameters with simulation-friendly
+// monitoring-cycle durations (long enough to never expire mid-experiment).
+func DefaultConfig() Config {
+	return Config{
+		TokenRatePerSec:     1000,
+		TokenDepth:          2048,
+		Ilim:                2 * sim.Second,
+		WSec:                4,
+		DeltaBps:            12_000,
+		MD:                  0.1,
+		MinRateBps:          512,
+		InitialRateBps:      100_000,
+		MaxCacheDelay:       2 * sim.Second,
+		Pth:                 0.02,
+		DetectInterval:      100 * sim.Millisecond,
+		MonitorHold:         sim.Hour,
+		HysteresisIntervals: 2,
+		LimiterIdle:         sim.Hour,
+		RequestCapFrac:      0.05,
+		MaxPrioLevel:        20,
+		KeyRotate:           32 * sim.Second,
+		EchoInterval:        250 * sim.Millisecond,
+		FallbackAfter:       30 * sim.Second,
+		TokenBurstSec:       1.0,
+		QuotaWindow:         60 * sim.Second,
+		UtilThreshold:       0.95,
+	}
+}
+
+// AffordableLevel maps a sender's waiting time to the highest request
+// priority level it can pay for under the Figure 15 token bucket — the
+// sender-side mirror of the access router's limiter. A sender that has
+// waited ~1 s can afford level 10 (cost 512), reproducing the §6.3.1
+// behaviour.
+func (c Config) AffordableLevel(waited sim.Time) uint8 {
+	tokens := c.TokenRatePerSec * waited.Seconds()
+	if tokens > c.TokenDepth {
+		tokens = c.TokenDepth
+	}
+	var level uint8
+	for level < c.MaxPrioLevel {
+		cost := float64(uint64(1) << level) // cost of level+1 = 2^level
+		if cost > tokens {
+			break
+		}
+		level++
+	}
+	return level
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+
+	"netfence/internal/defense"
+	"netfence/internal/feedback"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/ratelimit"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// This file tests the extension surfaces: the Appendix B.1 chained
+// multi-bottleneck token, the Appendix B.2 inference cache, the token-
+// bucket limiter variant, the congestion quota, and the utilization
+// detector — on a two-bottleneck chain topology.
+
+func TestMultiFeedbackChainSecurity(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.MultiFeedback = true
+	d, s := deploy(20, cfg, nfCfg)
+	ar := s.Access(d.SrcAccess[0])
+	b := s.Bottleneck(d.Bottleneck)
+	b.StartMonitoring()
+	src := d.Senders[0]
+
+	// Access stamps the empty multi header; the bottleneck appends its
+	// feedback; the chain validates.
+	p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	ar.stampMultiNop(p)
+	b.stampMulti(p, d.Net.Eng.Now())
+	if len(p.MFB.Items) != 1 || p.MFB.Items[0].Link != d.Bottleneck.ID {
+		t.Fatalf("MFB items: %+v", p.MFB.Items)
+	}
+	if !ar.validateMulti(p) {
+		t.Fatal("honest chain rejected")
+	}
+
+	// Tampering any element of the chain invalidates it.
+	tampered := func(mutate func(q *packet.Packet)) bool {
+		q := *p
+		q.MFB.Items = append([]packet.MultiFB(nil), p.MFB.Items...)
+		mutate(&q)
+		return ar.validateMulti(&q)
+	}
+	if tampered(func(q *packet.Packet) {
+		if q.MFB.Items[0].Action == packet.ActIncr {
+			q.MFB.Items[0].Action = packet.ActDecr
+		} else {
+			q.MFB.Items[0].Action = packet.ActIncr
+		}
+	}) {
+		t.Fatal("action flip accepted")
+	}
+	if tampered(func(q *packet.Packet) { q.MFB.Items[0].Link++ }) {
+		t.Fatal("link swap accepted")
+	}
+	if tampered(func(q *packet.Packet) { q.MFB.Items = q.MFB.Items[:0] }) {
+		t.Fatal("entry removal accepted")
+	}
+	if tampered(func(q *packet.Packet) { q.MFB.Token[0] ^= 1 }) {
+		t.Fatal("token tamper accepted")
+	}
+	if tampered(func(q *packet.Packet) { q.MFB.TS += 10 }) {
+		t.Fatal("timestamp tamper accepted")
+	}
+
+	// Policing a valid chain creates a limiter per reported bottleneck.
+	q := *p
+	q.MFB.Items = append([]packet.MultiFB(nil), p.MFB.Items...)
+	if !ar.policeMulti(&q) {
+		t.Fatal("valid multi packet rejected")
+	}
+	if ar.LimiterCount() != 1 {
+		t.Fatalf("limiters = %d", ar.LimiterCount())
+	}
+}
+
+func TestMultiFeedbackEmptyChainIsNop(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.MultiFeedback = true
+	d, s := deploy(21, cfg, nfCfg)
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+	p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	ar.stampMultiNop(p)
+	if !ar.policeMulti(p) {
+		t.Fatal("empty chain (nop) rejected")
+	}
+	if ar.LimiterCount() != 0 {
+		t.Fatal("nop-equivalent packet created a limiter")
+	}
+	// A stale header demotes to the request channel.
+	p2 := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	ar.stampMultiNop(p2)
+	p2.MFB.TS -= 100
+	ar.policeMulti(p2)
+	if p2.Kind != packet.KindRequest {
+		t.Fatal("stale multi header not demoted")
+	}
+}
+
+func TestInferenceCacheAccumulates(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.InferLimiters = true
+	d, s := deploy(22, cfg, nfCfg)
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+
+	// Feedback from two different links toward the same destination.
+	mk := func(link packet.LinkID) *packet.Packet {
+		p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+			Kind: packet.KindRegular, Size: 1500}
+		p.FB = packet.Feedback{Mode: packet.FBMon, Link: link,
+			Action: packet.ActDecr, TS: d.Net.NowSec()}
+		return p
+	}
+	_ = mk
+	// Drive through the public path: inferred policing happens inside
+	// police() for valid feedback; craft valid L-down for the bottleneck
+	// and a second (reverse) link.
+	links := []packet.LinkID{d.Bottleneck.ID, d.Reverse.ID}
+	for _, l := range links {
+		p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+			Kind: packet.KindRegular, Size: 1500}
+		nowSec := d.Net.NowSec()
+		// Stamp nop then L-down with real keys so validation passes.
+		stampValidDecr(s, ar, p, l, nowSec)
+		if !ar.police(p) && ar.Limiter(src.ID, l) == nil {
+			t.Fatalf("packet for link %d dropped without creating a limiter", l)
+		}
+	}
+	got := ar.InferredLinks(d.Victim.ID)
+	if len(got) != 2 {
+		t.Fatalf("inference cache = %v, want both links", got)
+	}
+	if ar.LimiterCount() != 2 {
+		t.Fatalf("limiters = %d, want one per inferred link", ar.LimiterCount())
+	}
+}
+
+// stampValidDecr produces valid L-down feedback for a link using the
+// system's real keys, exercising the access router's own validation path.
+func stampValidDecr(s *System, ar *AccessRouter, p *packet.Packet, link packet.LinkID, nowSec uint32) {
+	feedback.StampNop(ar.ring.Current(), p, nowSec)
+	kai := s.kaiForSender(p.SrcAS, s.net.LinkByID(link).From.AS)
+	feedback.StampDecr(kai, p, link)
+}
+
+func TestTokenBucketLimiterAllowsBursts(t *testing.T) {
+	eng := sim.New(1)
+	tok := ratelimit.NewTokenLimiter(eng, 100_000, 1.0)
+	// After one idle second the bucket holds 100 kbit: an 8-packet burst
+	// of 1500 B (96 kbit) passes back-to-back — exactly what the leaky
+	// queue forbids.
+	eng.RunUntil(sim.Second)
+	passed := 0
+	for i := 0; i < 10; i++ {
+		if tok.Submit(&packet.Packet{Size: 1500}) == ratelimit.Pass {
+			passed++
+		}
+	}
+	if passed < 8 {
+		t.Fatalf("burst passed %d packets, want >= 8", passed)
+	}
+	// The leaky limiter would have passed exactly one.
+	leaky := ratelimit.NewLeakyLimiter(eng, 100_000, 0, func(*packet.Packet) {})
+	passedLeaky := 0
+	for i := 0; i < 10; i++ {
+		if leaky.Submit(&packet.Packet{Size: 1500}) == ratelimit.Pass {
+			passedLeaky++
+		}
+	}
+	if passedLeaky != 1 {
+		t.Fatalf("leaky passed %d back-to-back packets, want 1", passedLeaky)
+	}
+}
+
+func TestCongestionQuotaCharging(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.CongestionQuotaBytes = 3000
+	nfCfg.QuotaWindow = 10 * sim.Second
+	d, s := deploy(23, cfg, nfCfg)
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+	nowSec := d.Net.NowSec()
+
+	p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	stampValidDecr(s, ar, p, d.Bottleneck.ID, nowSec)
+	if !ar.police(p) {
+		t.Fatal("first packet rejected")
+	}
+	lim := ar.regLims[regKey{src.ID, d.Bottleneck.ID}]
+	// Force the quota path: pretend the last adjustment was an MD and
+	// charge two full packets.
+	lim.lastAdjustMD = true
+	lim.quotaUsed = 3001
+	q := *p
+	stampValidDecr(s, ar, &q, d.Bottleneck.ID, nowSec)
+	if ar.police(&q) {
+		t.Fatal("packet passed with quota exhausted")
+	}
+	if ar.QuotaDrops != 1 {
+		t.Fatalf("QuotaDrops = %d", ar.QuotaDrops)
+	}
+	// A new window resets the budget.
+	d.Net.Eng.RunUntil(11 * sim.Second)
+	r := packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	stampValidDecr(s, ar, &r, d.Bottleneck.ID, d.Net.NowSec())
+	ar.police(&r)
+	if lim.quotaUsed > 3000 && ar.QuotaDrops != 1 {
+		t.Fatal("quota window did not reset")
+	}
+}
+
+func TestUtilDetectorOpensMonitoring(t *testing.T) {
+	// A full link with zero loss (elastic TCP just filling it) does not
+	// trip the loss detector quickly, but the utilization detector must
+	// open a monitoring cycle.
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.UtilDetect = true
+	nfCfg.UtilThreshold = 0.9
+	d, s := deploy(24, cfg, nfCfg)
+	transport.NewTCPReceiver(d.Victim.Host, 1)
+	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
+	d.Net.Eng.RunUntil(30 * sim.Second)
+	if !s.Bottleneck(d.Bottleneck).Monitoring() {
+		t.Fatal("utilization detector never opened a monitoring cycle")
+	}
+}
+
+func TestMultiBottleneckChainEndToEnd(t *testing.T) {
+	// Two monitored bottlenecks in series; with B.1 enabled the sender's
+	// access router ends up with a limiter for each.
+	eng := sim.New(25)
+	n := netsim.New(eng)
+	src := n.NewHost("src", 1)
+	ra := n.NewNode("Ra", 1)
+	r0 := n.NewNode("R0", 1000)
+	r1 := n.NewNode("R1", 1000)
+	r2 := n.NewNode("R2", 1000)
+	rv := n.NewNode("Rv", 2000)
+	dst := n.NewHost("dst", 2000)
+	n.Connect(src, ra, 10_000_000, sim.Millisecond)
+	n.Connect(ra, r0, 10_000_000, sim.Millisecond)
+	l1, _ := n.Connect(r0, r1, 600_000, 5*sim.Millisecond)
+	l2, _ := n.Connect(r1, r2, 500_000, 5*sim.Millisecond)
+	n.Connect(r2, rv, 10_000_000, sim.Millisecond)
+	n.Connect(rv, dst, 10_000_000, sim.Millisecond)
+	n.ComputeRoutes()
+
+	nfCfg := DefaultConfig()
+	nfCfg.MultiFeedback = true
+	// Start limits at the first link's capacity so the second bottleneck
+	// congests without waiting for additive increase.
+	nfCfg.InitialRateBps = 600_000
+	s := NewSystem(n, nfCfg)
+	s.ProtectLink(l1)
+	s.ProtectLink(l2)
+	s.ProtectAccess(ra)
+	s.ProtectAccess(rv)
+	s.AttachHost(src, defense.Policy{})
+	s.AttachHost(dst, defense.Policy{})
+
+	// Greedy UDP keeps both links saturated (the second is narrower).
+	transport.NewUDPSink(dst.Host, 1)
+	transport.NewUDPSource(src.Host, dst.ID, 1, 2_000_000, 1500).Start()
+	eng.RunUntil(60 * sim.Second)
+
+	ar := s.Access(ra)
+	if !s.Bottleneck(l2).Monitoring() {
+		t.Fatal("narrow link not monitoring")
+	}
+	if ar.Limiter(src.ID, l2.ID) == nil {
+		t.Fatal("no limiter for the narrow link")
+	}
+	// With multi-feedback the wider link's feedback also reaches the
+	// access router once it enters mon state.
+	if s.Bottleneck(l1).Monitoring() && ar.Limiter(src.ID, l1.ID) == nil {
+		t.Fatal("wide link monitored but no limiter created")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"netfence/internal/defense"
+	"netfence/internal/feedback"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// HostShim is NetFence's end-host layer between transport and network
+// (§3.1, §6.2): it classifies outgoing packets into request/regular,
+// presents the freshest valid feedback on regular packets, returns the
+// network-stamped feedback of incoming packets to their senders
+// (piggybacked on reverse traffic, or in dedicated low-rate feedback
+// packets for one-way flows), and implements the receiver-side
+// feedback-as-capability behavior: traffic the host identifies as
+// unwanted is dropped before any feedback is recorded or returned, so the
+// attacker can never present valid feedback again (§3.3).
+type HostShim struct {
+	sys  *System
+	host *netsim.Host
+	deny func(src packet.NodeID) bool
+
+	peers     map[packet.NodeID]*peerState
+	flowStart map[packet.FlowID]sim.Time
+}
+
+type peerState struct {
+	// presented is the feedback this host presents on packets it sends
+	// to the peer (returned to us by the peer earlier).
+	presented    packet.Feedback
+	hasPresented bool
+	// presentedM is the B.1 multi-bottleneck equivalent.
+	presentedM    packet.MultiHeader
+	hasPresentedM bool
+
+	// toReturn is the latest network-stamped feedback observed on
+	// packets from the peer, to hand back.
+	toReturn  packet.Returned
+	toReturnM packet.MultiHeader
+
+	lastSent  sim.Time
+	lastHeard sim.Time
+	lastFlow  packet.FlowID
+	echo      *sim.Ticker
+}
+
+// AttachHost installs a NetFence shim on host h with the given policy.
+func (s *System) AttachHost(h *netsim.Node, pol defense.Policy) {
+	shim := &HostShim{
+		sys:       s,
+		host:      h.Host,
+		deny:      pol.Deny,
+		peers:     make(map[packet.NodeID]*peerState),
+		flowStart: make(map[packet.FlowID]sim.Time),
+	}
+	h.Host.Shim = shim
+}
+
+// Shim returns the NetFence shim installed on h, or nil.
+func Shim(h *netsim.Node) *HostShim {
+	sh, _ := h.Host.Shim.(*HostShim)
+	return sh
+}
+
+func (sh *HostShim) peer(id packet.NodeID) *peerState {
+	ps := sh.peers[id]
+	if ps == nil {
+		ps = &peerState{}
+		sh.peers[id] = ps
+	}
+	return ps
+}
+
+// Presented returns the feedback currently presented toward a peer, for
+// tests and diagnostics.
+func (sh *HostShim) Presented(peer packet.NodeID) (packet.Feedback, bool) {
+	ps := sh.peers[peer]
+	if ps == nil {
+		return packet.Feedback{}, false
+	}
+	return ps.presented, ps.hasPresented
+}
+
+func (sh *HostShim) fresh(ts uint32) bool {
+	nowSec := sh.host.Network().NowSec()
+	diff := int64(nowSec) - int64(ts)
+	// One second of margin below the expiration window w: the access
+	// router re-checks freshness after the uplink delay, and feedback
+	// that would expire in transit must not be presented.
+	return diff <= int64(sh.sys.Cfg.WSec)-1 && diff >= -1
+}
+
+// Egress classifies and decorates an outgoing packet.
+func (sh *HostShim) Egress(p *packet.Packet) {
+	now := sh.host.Network().Eng.Now()
+	ps := sh.peer(p.Dst)
+	ps.lastSent = now
+
+	// Hand back the latest feedback for the reverse path.
+	if sh.sys.Cfg.MultiFeedback {
+		if ps.toReturnM.Present {
+			p.RetMFB = ps.toReturnM
+		}
+	} else if ps.toReturn.Present {
+		p.Ret = ps.toReturn
+	}
+
+	// Strategic senders craft their own request packets; leave them be.
+	if p.Kind == packet.KindRequest && p.Prio > 0 {
+		return
+	}
+
+	if p.IsSYN() {
+		// New connections begin with request packets (§3.1 step 1); the
+		// priority level grows with waiting time, mirroring the access
+		// router's token bucket (§4.2, §6.3.1).
+		start, ok := sh.flowStart[p.Flow]
+		if !ok {
+			start = now
+			sh.flowStart[p.Flow] = now
+		}
+		p.Kind = packet.KindRequest
+		p.Prio = sh.sys.Cfg.AffordableLevel(now - start)
+		p.FB = packet.Feedback{}
+		p.MFB = packet.MultiHeader{}
+		return
+	}
+	delete(sh.flowStart, p.Flow)
+
+	if sh.sys.Cfg.MultiFeedback {
+		if ps.hasPresentedM && sh.fresh(ps.presentedM.TS) {
+			p.MFB = ps.presentedM
+			p.Kind = packet.KindRegular
+			return
+		}
+	} else if ps.hasPresented && sh.fresh(ps.presented.TS) {
+		p.FB = ps.presented
+		p.Kind = packet.KindRegular
+		return
+	}
+	// No valid feedback in hand: the packet can only travel the request
+	// channel at the lowest priority.
+	p.Kind = packet.KindRequest
+	p.Prio = 0
+	p.FB = packet.Feedback{}
+	p.MFB = packet.MultiHeader{}
+}
+
+// Ingress records feedback from an incoming packet and applies the
+// receiver policy. It consumes dedicated feedback packets.
+func (sh *HostShim) Ingress(p *packet.Packet) bool {
+	if sh.deny != nil && sh.deny(p.Src) {
+		// Unwanted traffic: drop before recording anything, so no
+		// feedback is ever returned to this sender (§3.3).
+		return false
+	}
+	ps := sh.peer(p.Src)
+	ps.lastHeard = sh.host.Network().Eng.Now()
+	ps.lastFlow = p.Flow
+
+	if sh.sys.Cfg.MultiFeedback {
+		if p.MFB.Present {
+			ps.toReturnM = p.MFB
+		}
+		if p.RetMFB.Present {
+			ps.presentedM = p.RetMFB
+			ps.hasPresentedM = true
+		}
+	} else {
+		ps.toReturn = feedback.ToReturned(p.FB)
+		if p.Ret.Present {
+			sh.updatePresented(ps, feedback.ToPresented(p.Ret))
+		}
+	}
+
+	if p.Proto == packet.ProtoUDP && p.Payload > 0 {
+		// One-way traffic: make sure the sender keeps receiving feedback.
+		sh.ensureEcho(p.Src, ps)
+	}
+	return p.Proto != packet.ProtoFeedback
+}
+
+// updatePresented folds newly returned feedback into the presentation
+// choice. Per §4.3.4, a sender should keep presenting L-up feedback for
+// as long as it is unexpired, even when newer L-down feedback arrives —
+// the legitimate strategy must mimic the most aggressive one so that
+// fairness holds among all senders.
+func (sh *HostShim) updatePresented(ps *peerState, fb packet.Feedback) {
+	if !ps.hasPresented {
+		ps.presented = fb
+		ps.hasPresented = true
+		return
+	}
+	cur := &ps.presented
+	curIsUp := cur.Mode == packet.FBNop || cur.Action == packet.ActIncr
+	newIsDown := fb.Mode == packet.FBMon && fb.Action == packet.ActDecr
+	if newIsDown && curIsUp && sh.fresh(cur.TS) {
+		return // keep the still-valid L-up
+	}
+	ps.presented = fb
+}
+
+// ensureEcho starts the low-rate dedicated feedback stream toward a
+// sender of one-way traffic (§3.1 step 4). The ticker idles away once the
+// peer goes silent.
+func (sh *HostShim) ensureEcho(peer packet.NodeID, ps *peerState) {
+	if ps.echo != nil {
+		return
+	}
+	eng := sh.host.Network().Eng
+	interval := sh.sys.Cfg.EchoInterval
+	ps.echo = eng.Tick(interval, func() {
+		now := eng.Now()
+		if now-ps.lastHeard > 8*interval {
+			ps.echo.Stop()
+			ps.echo = nil
+			return
+		}
+		if now-ps.lastSent < interval {
+			return // recent reverse traffic already carried the feedback
+		}
+		if !ps.toReturn.Present && !ps.toReturnM.Present {
+			return
+		}
+		sh.host.Send(&packet.Packet{
+			Dst:   peer,
+			Flow:  ps.lastFlow,
+			Proto: packet.ProtoFeedback,
+			Size:  packet.SizeFeedbackPkt,
+		})
+	})
+}

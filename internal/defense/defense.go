@@ -1,0 +1,37 @@
+// Package defense defines the interface every DoS-defense system in this
+// repository implements — NetFence (internal/core) and the baselines
+// TVA+, StopIt, per-sender fair queuing and the undefended network
+// (internal/baseline). The experiment harness deploys systems through
+// this interface so every figure can be regenerated for each system with
+// identical topology and workload code.
+package defense
+
+import (
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+)
+
+// Policy describes a host's receiver-side behavior. NetFence deliberately
+// places attack-traffic identification at receivers (§2.2 goal ii); Deny
+// is that identification.
+type Policy struct {
+	// Deny reports whether the host classifies traffic from src as
+	// unwanted and wishes to suppress it (withhold feedback/capabilities,
+	// install filters). A nil Deny accepts everyone.
+	Deny func(src packet.NodeID) bool
+}
+
+// System deploys a DoS defense onto a simulated network.
+type System interface {
+	// Name identifies the system in result tables.
+	Name() string
+	// ProtectLink installs the system's queue discipline and (for
+	// NetFence) congestion detection and feedback stamping on a
+	// potentially-congestible link.
+	ProtectLink(l *netsim.Link)
+	// ProtectAccess installs the system's policing functions on an
+	// access router whose attached hosts it polices.
+	ProtectAccess(r *netsim.Node)
+	// AttachHost installs the system's host shim.
+	AttachHost(h *netsim.Node, pol Policy)
+}

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"fmt"
+
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// AblateHysteresis probes the design choice of footnote 1: the L-down
+// stamping hysteresis must extend two control intervals past the last
+// congestion instant, or a strategic sender that bursts in one interval
+// can harvest L-up feedback in the next and escape the multiplicative
+// decrease. The adversary bursts at 1 Mbps for one control interval,
+// then trickles just enough to collect feedback for one interval, in a
+// loop; its admitted throughput (and the user's) is reported for
+// hysteresis windows of 0, 1 and 2 control intervals.
+func AblateHysteresis(sc Scale) Result {
+	res := Result{
+		Name:    "ablation",
+		Title:   "L-down hysteresis (footnote 1): strategic burst attacker vs window",
+		Columns: []string{"hysteresis (x Ilim)", "attacker kbps", "user kbps", "fair kbps"},
+	}
+	for _, h := range []int{0, 1, 2} {
+		atk, user, fair := ablateHystCell(sc, h)
+		res.AddRow(fmt.Sprintf("%d", h),
+			fmt.Sprintf("%.0f", atk/1000),
+			fmt.Sprintf("%.0f", user/1000),
+			fmt.Sprintf("%.0f", fair/1000))
+	}
+	res.Note("expected: with a short window the burst-and-harvest attacker beats its fair share; 2x Ilim pins it down (the paper's minimum robust value)")
+	return res
+}
+
+func ablateHystCell(sc Scale, hysteresis int) (atkBps, userBps, fairBps float64) {
+	eng := sim.New(sc.Seed)
+	const bottleneck = 800_000
+	cfg := topo.DefaultDumbbell(2, bottleneck)
+	cfg.ColluderASes = 1
+	d := topo.NewDumbbell(eng, cfg)
+	nfCfg := core.DefaultConfig()
+	nfCfg.HysteresisIntervals = hysteresis
+	s := core.NewSystem(d.Net, nfCfg)
+	deployDumbbell(d, s, defense.Policy{})
+
+	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
+	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
+	sink := transport.NewUDPSink(d.Colluders[0].Host, 2)
+	u := transport.NewUDPSource(d.Senders[1].Host, d.Colluders[0].ID, 2, 1_000_000, packet.SizeData)
+	u.OnTime = nfCfg.Ilim  // burst one full control interval
+	u.OffTime = nfCfg.Ilim // harvest L-up the next
+	u.OffRateBps = 40_000  // trickle keeps feedback flowing
+	u.Start()
+
+	warm, end := sc.Warmup, sc.Duration
+	eng.RunUntil(warm)
+	uMark, aMark := rcv.DeliveredBytes(), sink.Bytes
+	eng.RunUntil(end)
+	window := (end - warm).Seconds()
+	userBps = float64(rcv.DeliveredBytes()-uMark) * 8 / window
+	atkBps = float64(sink.Bytes-aMark) * 8 / window
+	return atkBps, userBps, bottleneck / 2
+}
+
+// AblateBucket probes the §4.3.3 design choice of a leaky-bucket QUEUE
+// over a token bucket for the regular-packet rate limiter. Attackers run
+// synchronized on-off bursts with long silences; a token bucket banks
+// credit during the silences and releases line-rate bursts that congest
+// the link, while the leaky bucket's output can never exceed the limit.
+func AblateBucket(sc Scale) Result {
+	res := Result{
+		Name:    "ablation",
+		Title:   "regular-limiter shape under synchronized on-off bursts",
+		Columns: []string{"limiter", "user kbps", "attacker kbps", "bottleneck drops"},
+	}
+	for _, token := range []bool{false, true} {
+		name := "leaky queue (paper)"
+		if token {
+			name = "token bucket"
+		}
+		user, atk, drops := ablateBucketCell(sc, token)
+		res.AddRow(name,
+			fmt.Sprintf("%.0f", user/1000),
+			fmt.Sprintf("%.0f", atk/1000),
+			fmt.Sprintf("%d", drops))
+	}
+	res.Note("expected: the token bucket admits credit-funded bursts that cost the user throughput and the link extra loss")
+	return res
+}
+
+func ablateBucketCell(sc Scale, token bool) (userBps, atkBps float64, drops uint64) {
+	eng := sim.New(sc.Seed)
+	const bottleneck = 800_000
+	cfg := topo.DefaultDumbbell(4, bottleneck)
+	cfg.ColluderASes = 1
+	d := topo.NewDumbbell(eng, cfg)
+	nfCfg := core.DefaultConfig()
+	nfCfg.TokenBucketLimiter = token
+	s := core.NewSystem(d.Net, nfCfg)
+	deployDumbbell(d, s, defense.Policy{})
+
+	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
+	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
+	sinks := make([]*transport.UDPSink, 3)
+	for i := 0; i < 3; i++ {
+		flow := packet.FlowID(10 + i)
+		sinks[i] = transport.NewUDPSink(d.Colluders[0].Host, flow)
+		u := transport.NewUDPSource(d.Senders[1+i].Host, d.Colluders[0].ID, flow, 1_000_000, packet.SizeData)
+		u.OnTime = 500 * sim.Millisecond
+		u.OffTime = 4 * sim.Second
+		u.OffRateBps = 30_000 // keep feedback flowing between bursts
+		u.Start()
+	}
+
+	warm, end := sc.Warmup, sc.Duration
+	eng.RunUntil(warm)
+	uMark := rcv.DeliveredBytes()
+	var aMark uint64
+	for _, s := range sinks {
+		aMark += s.Bytes
+	}
+	dMark := d.Bottleneck.Q.Stats().Dropped
+	eng.RunUntil(end)
+	window := (end - warm).Seconds()
+	userBps = float64(rcv.DeliveredBytes()-uMark) * 8 / window
+	var aBytes uint64
+	for _, s := range sinks {
+		aBytes += s.Bytes
+	}
+	atkBps = float64(aBytes-aMark) * 8 / window / 3
+	drops = d.Bottleneck.Q.Stats().Dropped - dMark
+	return userBps, atkBps, drops
+}
+
+// AblateQuota probes the §7 congestion quota. The premise of the quota
+// is that legitimate users have LIMITED demand at attack time while
+// attackers persistently congest the link: the user here repeats 50 KB
+// transfers with think time, the attacker floods 1 Mbps nonstop. With
+// the quota the attacker burns its congestion-traffic budget and is cut
+// off; the demand-limited user barely touches its own budget.
+func AblateQuota(sc Scale) Result {
+	res := Result{
+		Name:    "ablation",
+		Title:   "congestion quota (§7): persistent flooder vs 250 KB/60s budget",
+		Columns: []string{"quota", "user FCT (s)", "attacker kbps", "attacker quota drops"},
+	}
+	for _, quota := range []int64{0, 250_000} {
+		name := "off"
+		if quota > 0 {
+			name = "250 KB / 60 s"
+		}
+		fct, atk, qdrops := ablateQuotaCell(sc, quota)
+		res.AddRow(name,
+			fmt.Sprintf("%.2f", fct.Seconds()),
+			fmt.Sprintf("%.0f", atk/1000),
+			fmt.Sprintf("%d", qdrops))
+	}
+	res.Note("the quota charges only bytes forwarded while a rate limit decreases; the demand-limited user stays under budget while the persistent flooder is throttled")
+	return res
+}
+
+func ablateQuotaCell(sc Scale, quota int64) (userFCT sim.Time, atkBps float64, quotaDrops uint64) {
+	eng := sim.New(sc.Seed)
+	const bottleneck = 400_000
+	cfg := topo.DefaultDumbbell(2, bottleneck)
+	cfg.ColluderASes = 1
+	d := topo.NewDumbbell(eng, cfg)
+	nfCfg := core.DefaultConfig()
+	nfCfg.CongestionQuotaBytes = quota
+	s := core.NewSystem(d.Net, nfCfg)
+	deployDumbbell(d, s, defense.Policy{})
+	d.Victim.Host.OnUnknownFlow = func(p *packet.Packet) netsim.Agent {
+		if p.Proto != packet.ProtoTCP {
+			return nil
+		}
+		return transport.NewTCPReceiver(d.Victim.Host, p.Flow)
+	}
+
+	var fct metrics.FCT
+	client := transport.NewFileClient(d.Senders[0].Host, d.Victim.ID, 50_000, transport.DefaultTCP())
+	client.Gap = 500 * sim.Millisecond
+	client.OnResult = func(t sim.Time, ok bool) {
+		if eng.Now() > sc.Warmup {
+			fct.Add(t, ok)
+		}
+	}
+	client.Start()
+	sink := transport.NewUDPSink(d.Colluders[0].Host, 2)
+	transport.NewUDPSource(d.Senders[1].Host, d.Colluders[0].ID, 2, 1_000_000, packet.SizeData).Start()
+
+	warm, end := sc.Warmup, sc.Duration
+	eng.RunUntil(warm)
+	aMark := sink.Bytes
+	eng.RunUntil(end)
+	client.Stop()
+	window := (end - warm).Seconds()
+	atkBps = float64(sink.Bytes-aMark) * 8 / window
+	quotaDrops = s.Access(d.SrcAccess[1]).QuotaDrops
+	return fct.Mean(), atkBps, quotaDrops
+}
+
+// AblateInitRate probes the undocumented initial rate-limit parameter:
+// AIMD convergence should make the steady-state fair share insensitive
+// to it (DESIGN.md records 100 kbps as the default).
+func AblateInitRate(sc Scale) Result {
+	res := Result{
+		Name:    "ablation",
+		Title:   "initial rate limit: steady-state user/attacker throughput",
+		Columns: []string{"initial kbps", "user kbps", "attacker kbps", "ratio"},
+	}
+	for _, init := range []int64{12_500, 50_000, 100_000, 400_000} {
+		user, atk := ablateInitCell(sc, init)
+		ratio := 0.0
+		if atk > 0 {
+			ratio = user / atk
+		}
+		res.AddRow(fmt.Sprintf("%d", init/1000),
+			fmt.Sprintf("%.0f", user/1000),
+			fmt.Sprintf("%.0f", atk/1000),
+			fmt.Sprintf("%.2f", ratio))
+	}
+	res.Note("expected: steady-state shares are insensitive to the initial limit (AIMD convergence)")
+	return res
+}
+
+func ablateInitCell(sc Scale, initBps int64) (userBps, atkBps float64) {
+	eng := sim.New(sc.Seed)
+	const bottleneck = 400_000
+	cfg := topo.DefaultDumbbell(2, bottleneck)
+	cfg.ColluderASes = 1
+	d := topo.NewDumbbell(eng, cfg)
+	nfCfg := core.DefaultConfig()
+	nfCfg.InitialRateBps = initBps
+	s := core.NewSystem(d.Net, nfCfg)
+	deployDumbbell(d, s, defense.Policy{})
+
+	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
+	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
+	sink := transport.NewUDPSink(d.Colluders[0].Host, 2)
+	transport.NewUDPSource(d.Senders[1].Host, d.Colluders[0].ID, 2, 1_000_000, packet.SizeData).Start()
+
+	warm, end := sc.Warmup, sc.Duration
+	eng.RunUntil(warm)
+	uMark, aMark := rcv.DeliveredBytes(), sink.Bytes
+	eng.RunUntil(end)
+	window := (end - warm).Seconds()
+	userBps = float64(rcv.DeliveredBytes()-uMark) * 8 / window
+	atkBps = float64(sink.Bytes-aMark) * 8 / window
+	return userBps, atkBps
+}

@@ -1,0 +1,15 @@
+package exp
+
+import (
+	"netfence/internal/baseline"
+	"netfence/internal/defense"
+	"netfence/internal/netsim"
+)
+
+// Thin constructors keeping exp.go free of direct baseline imports at
+// call sites.
+
+func newTVA() defense.System                     { return baseline.NewTVA() }
+func newStopIt(n *netsim.Network) defense.System { return baseline.NewStopIt(n) }
+func newFQ() defense.System                      { return baseline.NewFQ() }
+func newNone() defense.System                    { return baseline.NewNone() }

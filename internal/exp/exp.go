@@ -1,0 +1,256 @@
+// Package exp contains one runner per table/figure of the paper's
+// evaluation (§6). Each runner builds the paper's topology, deploys one
+// or more defense systems, drives the paper's workloads and attack
+// strategies, and emits the same rows/series the paper reports.
+//
+// Experiments run at three scales. The paper itself evaluates 25K-200K
+// senders by fixing a 1000-sender population and scaling the bottleneck
+// capacity so each sender's fair share matches the full-size scenario
+// (§6.3.1); the scales here apply the same trick with smaller
+// populations, preserving per-sender fair shares (the paper's 50-400 kbps
+// operating region) and therefore the result shapes.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/netsim"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+)
+
+// Scale fixes an experiment family's population and durations.
+type Scale struct {
+	Name string
+	// Senders is the real simulated population.
+	Senders int
+	// Labels are the emulated sender counts reported in result rows; the
+	// bottleneck capacity for label L is Senders * (10 Gbps / L), keeping
+	// per-sender fair shares faithful to the paper.
+	Labels []int
+	// Duration is the simulated run length; measurements that need AIMD
+	// convergence start at Warmup.
+	Duration, Warmup sim.Time
+	// PLGroup is the parking-lot per-group population (paper: 1000).
+	PLGroup int
+	// Seed feeds the deterministic RNG.
+	Seed uint64
+}
+
+// The three standard scales.
+var (
+	// Tiny runs in seconds; used by unit tests and the bench harness.
+	Tiny = Scale{
+		Name: "tiny", Senders: 20, Labels: []int{25_000, 200_000},
+		Duration: 120 * sim.Second, Warmup: 60 * sim.Second,
+		PLGroup: 12, Seed: 1,
+	}
+	// Small is the CLI default: every label, minutes of wall time.
+	Small = Scale{
+		Name: "small", Senders: 60, Labels: []int{25_000, 50_000, 100_000, 200_000},
+		Duration: 240 * sim.Second, Warmup: 120 * sim.Second,
+		PLGroup: 30, Seed: 1,
+	}
+	// Paper is the full 1000-sender, 4000-second configuration.
+	Paper = Scale{
+		Name: "paper", Senders: 1000, Labels: []int{25_000, 50_000, 100_000, 200_000},
+		Duration: 4000 * sim.Second, Warmup: 1000 * sim.Second,
+		PLGroup: 1000, Seed: 1,
+	}
+)
+
+// ScaleByName resolves tiny/small/paper.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Scale{}, fmt.Errorf("unknown scale %q (tiny|small|paper)", name)
+}
+
+// BottleneckBps returns the scaled capacity for an emulated sender count.
+func (sc Scale) BottleneckBps(label int) int64 {
+	return int64(sc.Senders) * (10_000_000_000 / int64(label))
+}
+
+// FairShareBps is each sender's bottleneck fair share at a label.
+func (sc Scale) FairShareBps(label int) int64 {
+	return 10_000_000_000 / int64(label)
+}
+
+// Result is one experiment's output table.
+type Result struct {
+	Name    string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-form note printed under the table.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.Name, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// SystemKind selects a defense system.
+type SystemKind string
+
+// The four systems of §6.3 plus the undefended control.
+const (
+	SysNetFence SystemKind = "NetFence"
+	SysTVA      SystemKind = "TVA+"
+	SysStopIt   SystemKind = "StopIt"
+	SysFQ       SystemKind = "FQ"
+	SysNone     SystemKind = "None"
+)
+
+// ComparedSystems is the lineup of Figures 8 and 9.
+var ComparedSystems = []SystemKind{SysFQ, SysNetFence, SysTVA, SysStopIt}
+
+// buildSystem instantiates a system over a network. nfCfg customizes
+// NetFence; other systems use their defaults.
+func buildSystem(kind SystemKind, net *netsim.Network, nfCfg core.Config) defense.System {
+	switch kind {
+	case SysNetFence:
+		return core.NewSystem(net, nfCfg)
+	case SysTVA:
+		return newTVA()
+	case SysStopIt:
+		return newStopIt(net)
+	case SysFQ:
+		return newFQ()
+	default:
+		return newNone()
+	}
+}
+
+// deployDumbbell installs a system across a dumbbell: the bottleneck link
+// is protected, every access router polices, and every host gets the
+// system's shim. deny is the victim's receiver policy.
+func deployDumbbell(d *topo.Dumbbell, s defense.System, deny defense.Policy) {
+	s.ProtectLink(d.Bottleneck)
+	for _, ra := range d.SrcAccess {
+		s.ProtectAccess(ra)
+	}
+	s.ProtectAccess(d.VictimAccess)
+	for _, rc := range d.ColluderAccess {
+		s.ProtectAccess(rc)
+	}
+	for _, h := range d.Senders {
+		s.AttachHost(h, defense.Policy{})
+	}
+	s.AttachHost(d.Victim, deny)
+	for _, c := range d.Colluders {
+		s.AttachHost(c, defense.Policy{})
+	}
+}
+
+// deployParkingLot installs a system across a parking lot, protecting
+// both bottlenecks.
+func deployParkingLot(pl *topo.ParkingLot, s defense.System) {
+	s.ProtectLink(pl.L1)
+	s.ProtectLink(pl.L2)
+	for g := range pl.Groups {
+		grp := &pl.Groups[g]
+		for _, ra := range grp.Access {
+			s.ProtectAccess(ra)
+		}
+		for _, h := range grp.Senders {
+			s.AttachHost(h, defense.Policy{})
+		}
+		s.AttachHost(grp.Victim, defense.Policy{})
+		for _, c := range grp.Colluders {
+			s.AttachHost(c, defense.Policy{})
+		}
+	}
+}
+
+// Runner is a named experiment: it maps a CLI/bench identifier to the
+// function regenerating one table or figure.
+type Runner struct {
+	Name  string
+	Brief string
+	Run   func(sc Scale) Result
+}
+
+// Runners lists every experiment, in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"fig7", "per-packet processing overhead (Linux prototype table)", Fig7},
+		{"fig8", "unwanted-traffic flooding: mean 20KB transfer time", Fig8},
+		{"fig9a", "colluding attacks, long-running TCP: throughput ratio", func(sc Scale) Result { return Fig9(sc, false) }},
+		{"fig9b", "colluding attacks, web-like traffic: throughput ratio", func(sc Scale) Result { return Fig9(sc, true) }},
+		{"fig10", "multi-bottleneck parking lot, core design", func(sc Scale) Result { return Fig10(sc, ModeCore) }},
+		{"fig11", "microscopic on-off attacks: user throughput", Fig11},
+		{"fig13", "parking lot with multi-bottleneck feedback (App. B.1)", func(sc Scale) Result { return Fig10(sc, ModeMultiFB) }},
+		{"fig14", "parking lot with rate-limiter inference (App. B.2)", func(sc Scale) Result { return Fig10(sc, ModeInfer) }},
+		{"theorem", "fair-share lower bound of §3.4/Appendix A", Theorem},
+		{"localize", "compromised-AS damage localization (§4.5)", Localize},
+		{"header", "NetFence header sizes (§6.1)", HeaderSizes},
+		{"ablate-hysteresis", "L-down hysteresis ablation (footnote 1)", AblateHysteresis},
+		{"ablate-initrate", "initial rate-limit ablation", AblateInitRate},
+		{"ablate-bucket", "leaky-queue vs token-bucket limiter (§4.3.3)", AblateBucket},
+		{"quota", "congestion quota extension (§7)", AblateQuota},
+	}
+}
+
+// RunnerByName resolves an experiment identifier.
+func RunnerByName(name string) (Runner, error) {
+	for _, r := range Runners() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("unknown experiment %q", name)
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// Fig8 regenerates Figure 8: the average transfer time of a 20 KB file
+// when the targeted victim can identify and wishes to remove the attack
+// traffic. One legitimate user per source AS repeatedly sends the file
+// over fresh TCP connections; every other sender attacks with the most
+// effective flood against the deployed system (§6.3.1): request floods at
+// the strategic priority level against NetFence, request floods against
+// TVA+, and direct UDP floods against StopIt (which filters them) and FQ
+// (which cannot).
+func Fig8(sc Scale) Result {
+	res := Result{
+		Name:    "Figure 8",
+		Title:   "mean 20 KB file transfer time under unwanted-traffic flooding",
+		Columns: []string{"senders", "system", "mean FCT (s)", "p95 (s)", "completion", "transfers"},
+	}
+	for _, label := range sc.Labels {
+		for _, kind := range ComparedSystems {
+			fct := fig8Cell(sc, label, kind)
+			res.AddRow(
+				fmt.Sprintf("%dK", label/1000),
+				string(kind),
+				fmt.Sprintf("%.2f", fct.Mean().Seconds()),
+				fmt.Sprintf("%.2f", fct.Percentile(95).Seconds()),
+				fmt.Sprintf("%.0f%%", 100*fct.CompletionRatio()),
+				fmt.Sprintf("%d", fct.Count()+fct.Failed()),
+			)
+		}
+	}
+	res.Note("paper shape: StopIt < TVA+ < NetFence (+~1 s request backoff), FQ grows linearly with senders; 100%% completion everywhere")
+	return res
+}
+
+// StrategicRequestLevel computes the attack strategy of §6.3.1: the
+// highest priority level at which the aggregate admitted attack traffic
+// still saturates the request channel. attackers is the flood population,
+// bottleneckBps the link capacity.
+func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg core.Config) uint8 {
+	channel := cfg.RequestCapFrac * float64(bottleneckBps)
+	level := uint8(1)
+	for level < cfg.MaxPrioLevel {
+		next := level + 1
+		// Admitted per-sender packet rate at a level halves per step.
+		perSender := cfg.TokenRatePerSec / float64(uint64(1)<<(next-1))
+		aggregate := float64(attackers) * perSender * packet.SizeRequest * 8
+		if aggregate < channel {
+			break
+		}
+		level = next
+	}
+	return level
+}
+
+// fig8Roles splits a dumbbell's senders: the first host of each source
+// AS is the legitimate user (the paper's one-user-per-AS stress setup).
+func fig8Roles(d *topo.Dumbbell, hostsPerAS int) (legit, attackers []*netsim.Node) {
+	for i, h := range d.Senders {
+		if i%hostsPerAS == 0 {
+			legit = append(legit, h)
+		} else {
+			attackers = append(attackers, h)
+		}
+	}
+	return legit, attackers
+}
+
+func fig8Cell(sc Scale, label int, kind SystemKind) *metrics.FCT {
+	eng := sim.New(sc.Seed)
+	bottleneck := sc.BottleneckBps(label)
+	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
+	d := topo.NewDumbbell(eng, cfg)
+	nfCfg := core.DefaultConfig()
+	s := buildSystem(kind, d.Net, nfCfg)
+
+	legit, attackers := fig8Roles(d, cfg.HostsPerAS)
+	denySet := make(map[packet.NodeID]bool, len(attackers))
+	for _, a := range attackers {
+		denySet[a.ID] = true
+	}
+	deployDumbbell(d, s, defense.Policy{Deny: func(src packet.NodeID) bool {
+		return denySet[src]
+	}})
+	d.Victim.Host.OnUnknownFlow = func(p *packet.Packet) netsim.Agent {
+		if p.Proto != packet.ProtoTCP {
+			return nil
+		}
+		return transport.NewTCPReceiver(d.Victim.Host, p.Flow)
+	}
+
+	fct := &metrics.FCT{}
+	clients := make([]*transport.FileClient, 0, len(legit))
+	for _, h := range legit {
+		c := transport.NewFileClient(h.Host, d.Victim.ID, 20_000, transport.DefaultTCP())
+		c.OnResult = func(d sim.Time, ok bool) { fct.Add(d, ok) }
+		clients = append(clients, c)
+		c.Start()
+	}
+
+	const atkRate = 1_000_000
+	level := StrategicRequestLevel(len(attackers), bottleneck, nfCfg)
+	for i, a := range attackers {
+		flow := packet.FlowID(1_000_000 + i)
+		switch kind {
+		case SysNetFence:
+			transport.NewRequestFlooder(a.Host, d.Victim.ID, flow, atkRate, level).Start()
+		case SysTVA:
+			// TVA+'s request channel has no priority levels; flood flat.
+			transport.NewRequestFlooder(a.Host, d.Victim.ID, flow, atkRate, 0).Start()
+		default:
+			transport.NewUDPSource(a.Host, d.Victim.ID, flow, atkRate, packet.SizeData).Start()
+		}
+	}
+
+	eng.RunUntil(sc.Duration)
+	for _, c := range clients {
+		c.Stop()
+	}
+	return fct
+}

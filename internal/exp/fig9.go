@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// Fig9 regenerates Figure 9: the throughput ratio between legitimate
+// users and attackers when compromised sender-receiver pairs collude to
+// flood the network (or, equivalently, when victims fail to identify
+// attack traffic). Each source AS is 25% legitimate users sending TCP to
+// the victim and 75% attackers sending 1 Mbps UDP in regular packets to
+// colluders spread over nine extra ASes. web selects the Figure 9(b)
+// web-like workload instead of long-running TCP.
+func Fig9(sc Scale, web bool) Result {
+	variant, title := "a", "long-running TCP"
+	if web {
+		variant, title = "b", "web-like traffic"
+	}
+	res := Result{
+		Name:    "Figure 9" + variant,
+		Title:   "throughput ratio legit/attacker, colluding attacks, " + title,
+		Columns: []string{"senders", "system", "ratio", "Jain legit", "legit kbps", "attacker kbps", "util"},
+	}
+	for _, label := range sc.Labels {
+		for _, kind := range ComparedSystems {
+			c := fig9Cell(sc, label, kind, web)
+			res.AddRow(
+				fmt.Sprintf("%dK", label/1000),
+				string(kind),
+				fmt.Sprintf("%.2f", c.ratio),
+				fmt.Sprintf("%.2f", c.jain),
+				fmt.Sprintf("%.0f", c.legitBps/1000),
+				fmt.Sprintf("%.0f", c.atkBps/1000),
+				fmt.Sprintf("%.0f%%", 100*c.util),
+			)
+		}
+	}
+	if web {
+		res.Note("paper shape: NetFence ratio climbs ~0.3 to ~1 with senders (web demand cannot fill large fair shares); TVA+ lowest")
+	} else {
+		res.Note("paper shape: NetFence ~1; FQ/StopIt slightly below 1 (TCP-vs-DRR); TVA+ ~1/3 with 9 colluders; NetFence utilization >90%%")
+	}
+	return res
+}
+
+type fig9Out struct {
+	ratio, jain      float64
+	legitBps, atkBps float64
+	util             float64
+}
+
+// fig9Roles splits each AS 25% legitimate / 75% attackers.
+func fig9Roles(d *topo.Dumbbell, hostsPerAS int) (legit, attackers []*netsim.Node) {
+	for i, h := range d.Senders {
+		if i%hostsPerAS < (hostsPerAS+3)/4 {
+			legit = append(legit, h)
+		} else {
+			attackers = append(attackers, h)
+		}
+	}
+	return legit, attackers
+}
+
+func fig9Cell(sc Scale, label int, kind SystemKind, web bool) fig9Out {
+	eng := sim.New(sc.Seed)
+	bottleneck := sc.BottleneckBps(label)
+	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
+	cfg.ColluderASes = 9
+	d := topo.NewDumbbell(eng, cfg)
+	s := buildSystem(kind, d.Net, core.DefaultConfig())
+	// Colluding receivers do not identify attack traffic: no Deny.
+	deployDumbbell(d, s, defense.Policy{})
+
+	legit, attackers := fig9Roles(d, cfg.HostsPerAS)
+
+	// Per-sender delivered byte counters at the victim, attributed by
+	// source address so web workloads (many flows per sender) aggregate.
+	delivered := make(map[packet.NodeID]*int64, len(legit))
+	for _, h := range legit {
+		delivered[h.ID] = new(int64)
+	}
+	d.Victim.Host.OnUnknownFlow = func(p *packet.Packet) netsim.Agent {
+		if p.Proto != packet.ProtoTCP {
+			return nil
+		}
+		r := transport.NewTCPReceiver(d.Victim.Host, p.Flow)
+		ctr := delivered[p.Src]
+		if ctr != nil {
+			r.OnDeliver = func(b int) { *ctr += int64(b) }
+		}
+		return r
+	}
+
+	var stoppers []interface{ Stop() }
+	for _, h := range legit {
+		if web {
+			w := transport.NewWebSource(h.Host, d.Victim.ID, transport.DefaultWeb())
+			w.Start()
+			stoppers = append(stoppers, w)
+		} else {
+			flow := d.Net.NextFlow()
+			r := transport.NewTCPReceiver(d.Victim.Host, flow)
+			ctr := delivered[h.ID]
+			r.OnDeliver = func(b int) { *ctr += int64(b) }
+			snd := transport.NewTCPSender(h.Host, d.Victim.ID, flow, -1, transport.DefaultTCP())
+			snd.Start()
+		}
+	}
+	sinks := make([]*transport.UDPSink, len(attackers))
+	for i, a := range attackers {
+		col := d.Colluders[i%len(d.Colluders)]
+		flow := packet.FlowID(2_000_000 + i)
+		sinks[i] = transport.NewUDPSink(col.Host, flow)
+		transport.NewUDPSource(a.Host, col.ID, flow, 1_000_000, packet.SizeData).Start()
+	}
+
+	eng.RunUntil(sc.Warmup)
+	legitMark := make([]int64, len(legit))
+	for i, h := range legit {
+		legitMark[i] = *delivered[h.ID]
+	}
+	atkMark := make([]uint64, len(sinks))
+	for i, s := range sinks {
+		atkMark[i] = s.Bytes
+	}
+	txMark := d.Bottleneck.TxBytes
+
+	eng.RunUntil(sc.Duration)
+	for _, st := range stoppers {
+		st.Stop()
+	}
+	window := (sc.Duration - sc.Warmup).Seconds()
+	legitRates := make([]float64, len(legit))
+	for i, h := range legit {
+		legitRates[i] = float64(*delivered[h.ID]-legitMark[i]) * 8 / window
+	}
+	atkRates := make([]float64, len(sinks))
+	for i, s := range sinks {
+		atkRates[i] = float64(s.Bytes-atkMark[i]) * 8 / window
+	}
+	legitMean, _ := metrics.MeanStd(legitRates)
+	atkMean, _ := metrics.MeanStd(atkRates)
+	out := fig9Out{
+		legitBps: legitMean,
+		atkBps:   atkMean,
+		jain:     metrics.Jain(legitRates),
+		util:     d.Bottleneck.Utilization(txMark, sc.Duration-sc.Warmup),
+	}
+	if atkMean > 0 {
+		out.ratio = legitMean / atkMean
+	}
+	return out
+}

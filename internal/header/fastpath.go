@@ -1,0 +1,88 @@
+package header
+
+import (
+	"errors"
+
+	"netfence/internal/cmac"
+	"netfence/internal/feedback"
+	"netfence/internal/packet"
+)
+
+// This file implements the per-packet data-path operations whose cost the
+// paper reports in Figure 7. Each function parses the encoded header,
+// performs the router's cryptographic work against real AES-CMAC keys, and
+// re-encodes — the same work a Click element does in the authors' Linux
+// prototype. bench_test.go at the repository root turns these into
+// testing.B benchmarks (experiment E1).
+
+// ErrInvalidFeedback is returned when presented feedback fails validation;
+// the caller must treat the packet as a request packet (§4.4).
+var ErrInvalidFeedback = errors.New("header: invalid congestion policing feedback")
+
+// AccessStampRequest is the access-router fast path for a request packet:
+// stamp fresh nop feedback (§4.2). The buffer is rewritten in place.
+func AccessStampRequest(buf []byte, ring *feedback.KeyRing, src, dst packet.NodeID, nowSec uint32) (int, error) {
+	h, _, err := Decode(buf, nowSec)
+	if err != nil {
+		return 0, err
+	}
+	h.FB = packet.Feedback{
+		Mode:   packet.FBNop,
+		Action: packet.ActIncr,
+		TS:     nowSec,
+		MAC:    feedback.NopMAC(ring.Current(), src, dst, nowSec),
+	}
+	return Encode(buf, &h), nil
+}
+
+// AccessProcessRegular is the access-router fast path for a regular
+// packet: validate the presented feedback and restamp it for forwarding
+// (§4.3.3). It returns the rate-limiter link (0 when the packet carries
+// nop feedback and needs no limiting) and the new encoded length.
+func AccessProcessRegular(buf []byte, ring *feedback.KeyRing, kai feedback.KaiLookup, src, dst packet.NodeID, nowSec, wSec uint32) (packet.LinkID, int, error) {
+	h, _, err := Decode(buf, nowSec)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := packet.Packet{Src: src, Dst: dst, FB: h.FB}
+	verdict := feedback.Validate(ring, kai, &p, nowSec, wSec)
+	switch verdict {
+	case feedback.ValidNop:
+		feedback.StampNop(ring.Current(), &p, nowSec)
+		h.FB = p.FB
+		return 0, Encode(buf, &h), nil
+	case feedback.ValidMon:
+		link := h.FB.Link
+		feedback.StampIncr(ring.Current(), &p, nowSec, link)
+		h.FB = p.FB
+		return link, Encode(buf, &h), nil
+	default:
+		return 0, 0, ErrInvalidFeedback
+	}
+}
+
+// BottleneckStampMon is the bottleneck-router fast path while its link is
+// in the mon state: apply the ordered feedback-update rules of §4.3.2 to
+// the encoded header. overloaded reports the link's congestion predicate
+// (rule 3). It returns the new encoded length and whether the header was
+// modified.
+func BottleneckStampMon(buf []byte, kai *cmac.CMAC, link packet.LinkID, src, dst packet.NodeID, overloaded bool, nowSec uint32) (int, bool, error) {
+	h, n, err := Decode(buf, nowSec)
+	if err != nil {
+		return 0, false, err
+	}
+	p := packet.Packet{Src: src, Dst: dst, FB: h.FB}
+	switch {
+	case h.FB.Mode == packet.FBNop:
+		// Rule 1: nop is always replaced with L-down in mon state.
+	case h.FB.Action == packet.ActDecr:
+		// Rule 2: an upstream link's L-down is never overwritten.
+		return n, false, nil
+	case !overloaded:
+		// Rule 3 negative: leave L-up alone when not overloaded.
+		return n, false, nil
+	}
+	feedback.StampDecr(kai, &p, link)
+	h.FB = p.FB
+	return Encode(buf, &h), true, nil
+}

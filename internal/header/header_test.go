@@ -1,0 +1,255 @@
+package header
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netfence/internal/cmac"
+	"netfence/internal/feedback"
+	"netfence/internal/packet"
+)
+
+func sampleHeaders() []Header {
+	mk := func(mode packet.FBMode, act packet.FBAction, ret bool, retMode packet.FBMode) Header {
+		h := Header{
+			Ver:   Version,
+			Proto: packet.ProtoTCP,
+			Prio:  3,
+			FB: packet.Feedback{
+				Mode: mode, Action: act, TS: 1234,
+				Link: 77, MAC: [4]byte{1, 2, 3, 4}, TokenNop: [4]byte{5, 6, 7, 8},
+			},
+		}
+		if mode == packet.FBNop {
+			h.FB.Link = 0
+			h.FB.TokenNop = [4]byte{}
+			h.FB.Action = packet.ActIncr
+		}
+		if mode == packet.FBMon && act == packet.ActDecr {
+			h.FB.TokenNop = [4]byte{} // erased on the wire
+		}
+		if ret {
+			h.HasRet = true
+			h.Ret = packet.Returned{
+				Present: true, Mode: retMode, TS: 1233,
+				MAC: [4]byte{9, 10, 11, 12},
+			}
+			if retMode == packet.FBMon {
+				h.Ret.Link = 88
+				h.Ret.Action = packet.ActDecr
+			}
+		}
+		return h
+	}
+	return []Header{
+		mk(packet.FBNop, packet.ActIncr, false, 0),
+		mk(packet.FBNop, packet.ActIncr, true, packet.FBNop),
+		mk(packet.FBMon, packet.ActIncr, false, 0),
+		mk(packet.FBMon, packet.ActDecr, true, packet.FBNop),
+		mk(packet.FBMon, packet.ActIncr, true, packet.FBMon),
+		mk(packet.FBMon, packet.ActDecr, true, packet.FBMon),
+	}
+}
+
+func TestSizes(t *testing.T) {
+	hs := sampleHeaders()
+	wants := []int{12, 16, 20, 20, 28, 24}
+	for i, h := range hs {
+		if got := EncodedSize(&h); got != wants[i] {
+			t.Errorf("header %d: size %d, want %d", i, got, wants[i])
+		}
+	}
+	// §6.1: worst case (mon feedback both directions) is 28 bytes.
+	worst := hs[4]
+	if EncodedSize(&worst) != packet.SizeNetFenceMx {
+		t.Errorf("worst case = %d, want %d", EncodedSize(&worst), packet.SizeNetFenceMx)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	now := uint32(1234) // reconstruction needs now close to Ret.TS
+	for i, h := range sampleHeaders() {
+		var buf [MaxSize]byte
+		n := Encode(buf[:], &h)
+		if n != EncodedSize(&h) {
+			t.Fatalf("header %d: Encode wrote %d, EncodedSize %d", i, n, EncodedSize(&h))
+		}
+		got, m, err := Decode(buf[:n], now)
+		if err != nil {
+			t.Fatalf("header %d: Decode: %v", i, err)
+		}
+		if m != n {
+			t.Fatalf("header %d: Decode consumed %d, want %d", i, m, n)
+		}
+		if got.FB != h.FB {
+			t.Errorf("header %d: FB = %+v, want %+v", i, got.FB, h.FB)
+		}
+		if got.HasRet != h.HasRet {
+			t.Errorf("header %d: HasRet mismatch", i)
+		}
+		if h.HasRet {
+			if got.Ret.Mode != h.Ret.Mode || got.Ret.Action != h.Ret.Action ||
+				got.Ret.Link != h.Ret.Link || got.Ret.MAC != h.Ret.MAC {
+				t.Errorf("header %d: Ret = %+v, want %+v", i, got.Ret, h.Ret)
+			}
+			if got.Ret.TS != h.Ret.TS {
+				t.Errorf("header %d: reconstructed TS = %d, want %d", i, got.Ret.TS, h.Ret.TS)
+			}
+		}
+		if got.Proto != h.Proto || got.Prio != h.Prio || got.Request != h.Request {
+			t.Errorf("header %d: common fields mismatch", i)
+		}
+	}
+}
+
+func TestReconstructTS(t *testing.T) {
+	for now := uint32(10); now < 20; now++ {
+		for age := uint32(0); age < 4; age++ {
+			ts := now - age
+			if got := ReconstructTS(uint8(ts&3), now); got != ts {
+				t.Errorf("now=%d age=%d: got %d, want %d", now, age, got, ts)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 4), 0); err != ErrShort {
+		t.Errorf("short buffer: %v", err)
+	}
+	var buf [MaxSize]byte
+	h := sampleHeaders()[2]
+	Encode(buf[:], &h)
+	if _, _, err := Decode(buf[:10], 0); err != ErrShort {
+		t.Errorf("truncated mon header: %v", err)
+	}
+	buf[0] = 0xF0 // bad version
+	if _, _, err := Decode(buf[:], 0); err != ErrVersion {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestPacketApply(t *testing.T) {
+	p := &packet.Packet{Kind: packet.KindRequest, Prio: 5, Proto: packet.ProtoUDP}
+	p.FB = packet.Feedback{Mode: packet.FBMon, Link: 3, TS: 9}
+	h := FromPacket(p)
+	if !h.Request || h.Prio != 5 || h.FB.Link != 3 {
+		t.Fatalf("FromPacket: %+v", h)
+	}
+	var q packet.Packet
+	h.Apply(&q)
+	if q.Kind != packet.KindRequest || q.Prio != 5 || q.FB.Link != 3 {
+		t.Fatalf("Apply: %+v", q)
+	}
+	h.Request = false
+	h.Apply(&q)
+	if q.Kind != packet.KindRegular {
+		t.Fatalf("Apply regular: %v", q.Kind)
+	}
+}
+
+// TestRoundTripProperty fuzzes header fields through encode/decode.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(mode, act, retMon bool, link uint32, ts uint32, mac [4]byte, prio uint8) bool {
+		h := Header{Ver: Version, Proto: packet.ProtoUDP, Prio: prio}
+		h.FB.TS = ts
+		h.FB.MAC = mac
+		if mode {
+			h.FB.Mode = packet.FBMon
+			h.FB.Link = packet.LinkID(link)
+			if act {
+				h.FB.Action = packet.ActDecr
+			} else {
+				h.FB.TokenNop = mac
+			}
+		}
+		h.HasRet = true
+		h.Ret = packet.Returned{Present: true, MAC: mac, TS: ts}
+		if retMon {
+			h.Ret.Mode = packet.FBMon
+			h.Ret.Link = packet.LinkID(link)
+		}
+		var buf [MaxSize]byte
+		n := Encode(buf[:], &h)
+		got, m, err := Decode(buf[:n], ts) // decode "now" == ts so TS reconstructs
+		if err != nil || m != n {
+			return false
+		}
+		return got.FB == h.FB && got.Ret.TS == h.Ret.TS && got.Ret.Link == h.Ret.Link
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fastpathKeys() (*feedback.KeyRing, *cmac.CMAC, feedback.KaiLookup) {
+	var ka, kaiKey cmac.Key
+	ka[0], kaiKey[0] = 1, 2
+	kai := cmac.New(kaiKey)
+	return feedback.NewKeyRingFromKey(ka), kai, func(packet.LinkID) *cmac.CMAC { return kai }
+}
+
+func TestFastPathEndToEnd(t *testing.T) {
+	ring, kai, lookup := fastpathKeys()
+	const (
+		src packet.NodeID = 10
+		dst packet.NodeID = 20
+		L   packet.LinkID = 7
+	)
+	now := uint32(100)
+
+	// 1. Access router stamps a request packet with nop feedback.
+	var buf [MaxSize]byte
+	h := Header{Ver: Version, Request: true, Proto: packet.ProtoTCP}
+	Encode(buf[:], &h)
+	if _, err := AccessStampRequest(buf[:], ring, src, dst, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Bottleneck in mon state replaces nop with L-down (rule 1).
+	n, changed, err := BottleneckStampMon(buf[:], kai, L, src, dst, false, now)
+	if err != nil || !changed {
+		t.Fatalf("rule 1 stamp: n=%d changed=%v err=%v", n, changed, err)
+	}
+
+	// 3. Receiver returns it; sender presents it; access validates and
+	// restamps L-up.
+	link, _, err := AccessProcessRegular(buf[:], ring, lookup, src, dst, now+1, 4)
+	if err != nil {
+		t.Fatalf("present L-down: %v", err)
+	}
+	if link != L {
+		t.Fatalf("limiter link = %d, want %d", link, L)
+	}
+	got, _, _ := Decode(buf[:], now+1)
+	if got.FB.Mode != packet.FBMon || got.FB.Action != packet.ActIncr {
+		t.Fatalf("restamped FB = %+v", got.FB)
+	}
+
+	// 4. Bottleneck overloaded: overwrites L-up with L-down (rule 3).
+	_, changed, err = BottleneckStampMon(buf[:], kai, L, src, dst, true, now+1)
+	if err != nil || !changed {
+		t.Fatalf("rule 3 stamp: changed=%v err=%v", changed, err)
+	}
+	// 5. Not overloaded: leaves L-down alone (rule 2).
+	_, changed, err = BottleneckStampMon(buf[:], kai, L, src, dst, true, now+1)
+	if err != nil || changed {
+		t.Fatalf("rule 2: changed=%v err=%v", changed, err)
+	}
+	// 6. Sender presents the final L-down; still valid.
+	link, _, err = AccessProcessRegular(buf[:], ring, lookup, src, dst, now+2, 4)
+	if err != nil || link != L {
+		t.Fatalf("present final: link=%d err=%v", link, err)
+	}
+}
+
+func TestFastPathRejectsForgery(t *testing.T) {
+	ring, _, lookup := fastpathKeys()
+	var buf [MaxSize]byte
+	h := Header{Ver: Version, Proto: packet.ProtoTCP}
+	h.FB = packet.Feedback{Mode: packet.FBMon, Link: 7, Action: packet.ActIncr, TS: 100}
+	Encode(buf[:], &h)
+	if _, _, err := AccessProcessRegular(buf[:], ring, lookup, 10, 20, 100, 4); err != ErrInvalidFeedback {
+		t.Fatalf("forged feedback: err = %v, want ErrInvalidFeedback", err)
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"netfence/internal/packet"
+)
+
+// Agent is a transport endpoint attached to a host (a TCP sender, a TCP
+// receiver, a UDP source or sink).
+type Agent interface {
+	Receive(p *packet.Packet)
+}
+
+// Shim is the defense layer between transport and network on a host —
+// NetFence's shim protocol layer (§6.2: "a module between the IP and
+// transport layers"). Egress classifies and decorates outgoing packets
+// (channel, priority, presented feedback, capabilities); Ingress observes
+// incoming packets and returns false to consume them (dedicated feedback
+// packets never reach the transport).
+type Shim interface {
+	Egress(p *packet.Packet)
+	Ingress(p *packet.Packet) bool
+}
+
+// PlainShim is the identity shim used by legacy hosts and baseline
+// systems without a host layer: packets keep whatever the transport set.
+type PlainShim struct{}
+
+// Egress does nothing.
+func (PlainShim) Egress(*packet.Packet) {}
+
+// Ingress delivers everything.
+func (PlainShim) Ingress(*packet.Packet) bool { return true }
+
+// Host is the end-system stack living on a host node.
+type Host struct {
+	Node *Node
+	// Shim is the defense layer; nil behaves like PlainShim.
+	Shim Shim
+	// OnUnknownFlow, when set, creates an agent for the first packet of
+	// an unknown flow (server-style listeners).
+	OnUnknownFlow func(p *packet.Packet) Agent
+
+	net    *Network
+	agents map[packet.FlowID]Agent
+}
+
+// Register attaches an agent to a flow.
+func (h *Host) Register(flow packet.FlowID, a Agent) { h.agents[flow] = a }
+
+// Unregister detaches a flow's agent.
+func (h *Host) Unregister(flow packet.FlowID) { delete(h.agents, flow) }
+
+// Agent returns the agent registered for flow, or nil.
+func (h *Host) Agent(flow packet.FlowID) Agent { return h.agents[flow] }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// Send stamps addressing metadata, runs the shim's egress path, and
+// injects p into the network.
+func (h *Host) Send(p *packet.Packet) {
+	p.Src = h.Node.ID
+	p.SrcAS = h.Node.AS
+	p.DstAS = h.net.Nodes[p.Dst].AS
+	p.UID = h.net.NextUID()
+	p.SentAt = h.net.Eng.Now()
+	if h.Shim != nil {
+		h.Shim.Egress(p)
+	}
+	h.net.Forward(h.Node, p)
+}
+
+// Receive runs the shim's ingress path and dispatches to the flow's agent.
+func (h *Host) Receive(p *packet.Packet) {
+	if h.Shim != nil && !h.Shim.Ingress(p) {
+		return
+	}
+	if a := h.agents[p.Flow]; a != nil {
+		a.Receive(p)
+		return
+	}
+	if h.OnUnknownFlow != nil {
+		if a := h.OnUnknownFlow(p); a != nil {
+			h.agents[p.Flow] = a
+			a.Receive(p)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"netfence/internal/packet"
+	"netfence/internal/queue"
+	"netfence/internal/sim"
+)
+
+// Link is a unidirectional link: a queue followed by a transmitter with
+// serialization delay Size*8/Rate and propagation delay Delay. Replace Q
+// before traffic flows to install a discipline other than the default
+// unbounded FIFO.
+type Link struct {
+	Index int
+	ID    packet.LinkID
+	From  *Node
+	To    *Node
+	Rate  int64 // bits per second; <=0 transmits instantaneously
+	Delay sim.Time
+	Q     queue.Queue
+
+	// OnTransmit, when set, observes each packet as transmission begins —
+	// the hook bottleneck routers use to update congestion policing
+	// feedback in the mon state (§4.3.2).
+	OnTransmit func(p *packet.Packet, l *Link)
+
+	busy    bool
+	retryEv *sim.Event
+
+	// TxPackets and TxBytes count completed transmissions.
+	TxPackets uint64
+	TxBytes   uint64
+
+	net *Network
+}
+
+// Send enqueues p and starts the transmitter if idle.
+func (l *Link) Send(p *packet.Packet) {
+	if !l.Q.Enqueue(p, l.net.Eng.Now()) {
+		if l.net.OnDrop != nil {
+			l.net.OnDrop(p, l)
+		}
+		return
+	}
+	if !l.busy {
+		l.tryTransmit()
+	}
+}
+
+// tryTransmit pulls the next eligible packet from the queue and transmits
+// it. If the queue is backlogged but not yet eligible (rate-capped
+// channel), a retry is scheduled at the queue's hint.
+func (l *Link) tryTransmit() {
+	if l.busy {
+		return
+	}
+	now := l.net.Eng.Now()
+	p, retryAt := l.Q.Dequeue(now)
+	if p == nil {
+		if retryAt > now {
+			l.scheduleRetry(retryAt)
+		}
+		return
+	}
+	if l.retryEv != nil {
+		l.retryEv.Cancel()
+		l.retryEv = nil
+	}
+	if l.OnTransmit != nil {
+		l.OnTransmit(p, l)
+	}
+	l.busy = true
+	tx := sim.TxTime(int(p.Size), l.Rate)
+	l.net.Eng.After(tx, func() {
+		l.busy = false
+		l.TxPackets++
+		l.TxBytes += uint64(p.Size)
+		l.net.Eng.After(l.Delay, func() {
+			l.net.arrive(p, l.To, l)
+		})
+		l.tryTransmit()
+	})
+}
+
+// scheduleRetry arms (or re-arms) the not-yet-eligible retry timer.
+func (l *Link) scheduleRetry(at sim.Time) {
+	if l.retryEv != nil && !l.retryEv.Cancelled() && l.retryEv.Time() <= at {
+		return
+	}
+	if l.retryEv != nil {
+		l.retryEv.Cancel()
+	}
+	l.retryEv = l.net.Eng.At(at, func() {
+		l.retryEv = nil
+		l.tryTransmit()
+	})
+}
+
+// Utilization returns the fraction of capacity used over an interval,
+// given a byte count captured at the interval's start.
+func (l *Link) Utilization(prevTxBytes uint64, interval sim.Time) float64 {
+	if interval <= 0 || l.Rate <= 0 {
+		return 0
+	}
+	return float64(l.TxBytes-prevTxBytes) * 8 / (float64(l.Rate) * interval.Seconds())
+}

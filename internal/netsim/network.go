@@ -1,0 +1,256 @@
+// Package netsim is the packet-level network simulator that stands in for
+// ns-2 in this reproduction: nodes joined by unidirectional links with
+// configurable rate, propagation delay and queue discipline, static
+// shortest-path routing, and a host stack with a pluggable defense shim
+// between transport and network (where NetFence's shim header lives).
+package netsim
+
+import (
+	"fmt"
+
+	"netfence/internal/packet"
+	"netfence/internal/queue"
+	"netfence/internal/sim"
+)
+
+// Network is a simulated internetwork. Build one by adding nodes and
+// links, call ComputeRoutes, then attach transports and run the engine.
+type Network struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+	Links []*Link
+
+	// routes[from][dst] is the egress link index at node from toward
+	// node dst, or -1 when unreachable.
+	routes [][]int32
+
+	// OnDrop, when set, observes every packet lost at a link queue.
+	OnDrop func(p *packet.Packet, l *Link)
+
+	uid  uint64
+	flow uint32
+}
+
+// New returns an empty network driven by eng.
+func New(eng *sim.Engine) *Network {
+	return &Network{Eng: eng}
+}
+
+// NewNode adds a router node.
+func (n *Network) NewNode(name string, as packet.ASID) *Node {
+	node := &Node{
+		ID:   packet.NodeID(len(n.Nodes)),
+		AS:   as,
+		Name: name,
+		net:  n,
+	}
+	n.Nodes = append(n.Nodes, node)
+	return node
+}
+
+// NewHost adds a host node with an attached host stack.
+func (n *Network) NewHost(name string, as packet.ASID) *Node {
+	node := n.NewNode(name, as)
+	node.IsHost = true
+	node.Host = &Host{Node: node, net: n, agents: make(map[packet.FlowID]Agent)}
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id packet.NodeID) *Node { return n.Nodes[id] }
+
+// Connect creates a duplex connection between a and b as two independent
+// unidirectional links with unbounded FIFO queues (replace Q for
+// congestible links). It returns the a-to-b and b-to-a links.
+func (n *Network) Connect(a, b *Node, rateBps int64, delay sim.Time) (ab, ba *Link) {
+	ab = n.addLink(a, b, rateBps, delay)
+	ba = n.addLink(b, a, rateBps, delay)
+	return ab, ba
+}
+
+func (n *Network) addLink(from, to *Node, rateBps int64, delay sim.Time) *Link {
+	l := &Link{
+		Index: len(n.Links),
+		ID:    packet.LinkID(len(n.Links) + 1), // 0 is the null link
+		From:  from,
+		To:    to,
+		Rate:  rateBps,
+		Delay: delay,
+		Q:     &queue.FIFO{},
+		net:   n,
+	}
+	n.Links = append(n.Links, l)
+	from.out = append(from.out, l)
+	return l
+}
+
+// LinkByID returns the link with the given LinkID, or nil.
+func (n *Network) LinkByID(id packet.LinkID) *Link {
+	i := int(id) - 1
+	if i < 0 || i >= len(n.Links) {
+		return nil
+	}
+	return n.Links[i]
+}
+
+// ComputeRoutes builds shortest-path (hop count) next-hop tables via one
+// reverse BFS per destination. Call it after the topology is final.
+func (n *Network) ComputeRoutes() {
+	num := len(n.Nodes)
+	n.routes = make([][]int32, num)
+	for i := range n.routes {
+		n.routes[i] = make([]int32, num)
+		for j := range n.routes[i] {
+			n.routes[i][j] = -1
+		}
+	}
+	// in[v] lists links arriving at v; BFS from each destination walks
+	// them backwards, recording the forward link as the next hop.
+	in := make([][]*Link, num)
+	for _, l := range n.Links {
+		in[l.To.ID] = append(in[l.To.ID], l)
+	}
+	qbuf := make([]packet.NodeID, 0, num)
+	seen := make([]bool, num)
+	for dst := 0; dst < num; dst++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		qbuf = qbuf[:0]
+		qbuf = append(qbuf, packet.NodeID(dst))
+		seen[dst] = true
+		for len(qbuf) > 0 {
+			v := qbuf[0]
+			qbuf = qbuf[1:]
+			for _, l := range in[v] {
+				u := l.From.ID
+				if !seen[u] {
+					seen[u] = true
+					n.routes[u][dst] = int32(l.Index)
+					qbuf = append(qbuf, u)
+				}
+			}
+		}
+	}
+}
+
+// Route returns the egress link at node from toward dst, or nil.
+func (n *Network) Route(from *Node, dst packet.NodeID) *Link {
+	idx := n.routes[from.ID][dst]
+	if idx < 0 {
+		return nil
+	}
+	return n.Links[idx]
+}
+
+// PathLinks returns the link sequence from src to dst, or nil when
+// unreachable.
+func (n *Network) PathLinks(src, dst packet.NodeID) []*Link {
+	var path []*Link
+	at := n.Nodes[src]
+	for at.ID != dst {
+		l := n.Route(at, dst)
+		if l == nil {
+			return nil
+		}
+		path = append(path, l)
+		at = l.To
+		if len(path) > len(n.Nodes) {
+			return nil // routing loop; cannot happen with BFS tables
+		}
+	}
+	return path
+}
+
+// PathASes returns the distinct downstream ASes on the path from src to
+// dst, excluding src's own AS — the AS-level path Passport stamps for.
+func (n *Network) PathASes(src, dst packet.NodeID) []packet.ASID {
+	var ases []packet.ASID
+	last := n.Nodes[src].AS
+	for _, l := range n.PathLinks(src, dst) {
+		if as := l.To.AS; as != last {
+			ases = append(ases, as)
+			last = as
+		}
+	}
+	return ases
+}
+
+// Forward routes p from node toward its destination, dropping it silently
+// when no route exists.
+func (n *Network) Forward(at *Node, p *packet.Packet) {
+	l := n.Route(at, p.Dst)
+	if l == nil {
+		return
+	}
+	l.Send(p)
+}
+
+// arrive processes p's arrival at node via l.
+func (n *Network) arrive(p *packet.Packet, node *Node, l *Link) {
+	if node.Ingress != nil && !node.Ingress(p, l) {
+		return
+	}
+	if p.Dst == node.ID {
+		if node.Host != nil {
+			node.Host.Receive(p)
+		}
+		return
+	}
+	n.Forward(node, p)
+}
+
+// NextUID returns a fresh packet UID.
+func (n *Network) NextUID() uint64 {
+	n.uid++
+	return n.uid
+}
+
+// NextFlow returns a fresh flow identifier.
+func (n *Network) NextFlow() packet.FlowID {
+	n.flow++
+	return packet.FlowID(n.flow)
+}
+
+// NowSec returns the engine clock in whole seconds, the timestamp unit of
+// the NetFence header.
+func (n *Network) NowSec() uint32 {
+	return uint32(n.Eng.Now() / sim.Second)
+}
+
+// Node is a router or host.
+type Node struct {
+	ID     packet.NodeID
+	AS     packet.ASID
+	Name   string
+	IsHost bool
+	Host   *Host
+
+	// Ingress, when set, intercepts every packet arriving at this node
+	// before delivery or forwarding. Returning false consumes the packet
+	// (policers use this to drop, or to cache and re-inject later via
+	// Network.Forward).
+	Ingress func(p *packet.Packet, from *Link) bool
+
+	net *Network
+	out []*Link
+}
+
+// String identifies the node in traces.
+func (nd *Node) String() string { return fmt.Sprintf("%s(%d)", nd.Name, nd.ID) }
+
+// Out returns the node's egress links.
+func (nd *Node) Out() []*Link { return nd.out }
+
+// Network returns the owning network.
+func (nd *Node) Network() *Network { return nd.net }
+
+// LinkTo returns the direct egress link to neighbor, or nil.
+func (nd *Node) LinkTo(neighbor *Node) *Link {
+	for _, l := range nd.out {
+		if l.To == neighbor {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package packet defines the simulated packet model shared by every layer
+// of the NetFence reproduction: addressing, transport metadata, and the
+// NetFence congestion-policing feedback fields carried in the shim header.
+//
+// The package holds plain data only. Cryptographic stamping/validation of
+// feedback lives in internal/feedback, wire encoding in internal/header,
+// and forwarding in internal/netsim, which keeps the dependency graph a
+// clean tree.
+package packet
+
+import "netfence/internal/sim"
+
+// NodeID identifies a host or router. It doubles as the node's network
+// address: the paper's IP addresses map 1:1 onto NodeIDs in simulation.
+type NodeID int32
+
+// ASID identifies an Autonomous System, the trust and fate-sharing unit of
+// NetFence (§2.1 of the paper).
+type ASID int32
+
+// LinkID identifies a link. The paper uses the link's IP address; the
+// simulator assigns dense unique IDs. ID 0 is reserved for "no link"
+// (the null identifier of nop feedback).
+type LinkID uint32
+
+// FlowID identifies a transport connection (a sender/receiver agent pair).
+type FlowID uint32
+
+// Kind classifies a packet into one of NetFence's three channels (§3.1).
+type Kind uint8
+
+// Packet kinds.
+const (
+	// KindLegacy marks traffic from non-NetFence senders; it is forwarded
+	// with the lowest priority.
+	KindLegacy Kind = iota
+	// KindRequest marks connection-request packets, policed by the
+	// priority-based request channel (§4.2).
+	KindRequest
+	// KindRegular marks packets carrying (supposedly) valid congestion
+	// policing feedback (§4.3).
+	KindRegular
+)
+
+// String returns the channel name.
+func (k Kind) String() string {
+	switch k {
+	case KindLegacy:
+		return "legacy"
+	case KindRequest:
+		return "request"
+	case KindRegular:
+		return "regular"
+	}
+	return "invalid"
+}
+
+// Proto identifies the upper-layer protocol inside the shim header.
+type Proto uint8
+
+// Upper-layer protocols.
+const (
+	ProtoUDP Proto = iota
+	ProtoTCP
+	// ProtoFeedback marks the dedicated low-rate feedback packets a
+	// receiver of one-way traffic sends back to the sender (§3.1 step 4).
+	ProtoFeedback
+	// ProtoCap marks TVA+ capability-refresh packets sent by receivers of
+	// one-way traffic (baseline system only).
+	ProtoCap
+)
+
+// TCP header flag bits.
+const (
+	FlagSYN uint8 = 1 << iota
+	FlagACK
+	FlagFIN
+)
+
+// TCPInfo carries the subset of TCP header state the simulator models.
+type TCPInfo struct {
+	Flags uint8
+	// Seq is the first payload byte's sequence number (or the ISN for SYN).
+	Seq int64
+	// Ack is the cumulative acknowledgement number, valid when FlagACK set.
+	Ack int64
+}
+
+// FBMode distinguishes nop from mon congestion policing feedback (§4.4).
+type FBMode uint8
+
+// Feedback modes.
+const (
+	FBNop FBMode = iota
+	FBMon
+)
+
+// FBAction is the action field of mon feedback.
+type FBAction uint8
+
+// Feedback actions.
+const (
+	// ActIncr is the L-up feedback: the link is underloaded and the access
+	// router may raise the sender's rate limit.
+	ActIncr FBAction = iota
+	// ActDecr is the L-down feedback: the link is overloaded and the access
+	// router must reduce the sender's rate limit.
+	ActDecr
+)
+
+// Feedback is one congestion policing feedback element: the five key fields
+// of Figure 5 plus the tokennop field carried by mon feedback. The same
+// struct serves as the sender's presented feedback (host to access router)
+// and as the network-stamped feedback (access router onward); the access
+// router rewrites it in place when forwarding (§4.3.3).
+type Feedback struct {
+	Mode   FBMode
+	Link   LinkID
+	Action FBAction
+	// TS is the stamping time in whole seconds, set only by access routers.
+	TS uint32
+	// MAC attests the feedback's integrity (Eq. 1-3 of §4.4, truncated to
+	// the header's 32-bit MAC field).
+	MAC [4]byte
+	// TokenNop carries the access router's token_nop inside L-up feedback;
+	// a bottleneck router consumes and erases it when stamping L-down.
+	TokenNop [4]byte
+}
+
+// IsNop reports whether the feedback is the nop feedback.
+func (f *Feedback) IsNop() bool { return f.Mode == FBNop }
+
+// IsMon reports whether the feedback is mon (L-up or L-down) feedback.
+func (f *Feedback) IsMon() bool { return f.Mode == FBMon }
+
+// Returned is the return header: feedback the packet's sender is handing
+// back to the packet's destination about the reverse path. Routers never
+// touch it; only end-host shims read and write it.
+type Returned struct {
+	Present bool
+	Mode    FBMode
+	Link    LinkID
+	Action  FBAction
+	TS      uint32
+	MAC     [4]byte
+}
+
+// Capability is the simulation-level stand-in for a TVA+ network
+// capability. Real TVA capabilities are router-stamped and receiver-
+// authorized crypto tokens; the baseline reproduces their *policing effect*
+// (packets with a valid, unexpired capability for the right destination
+// ride the regular channel) and models unforgeability by construction:
+// only receivers create Capability values. See DESIGN.md.
+type Capability struct {
+	Present bool
+	Dst     NodeID
+	// Expire is the expiry time in whole seconds of simulated time.
+	Expire uint32
+}
+
+// Valid reports whether the capability authorizes sending to dst at the
+// given time.
+func (c Capability) Valid(dst NodeID, nowSec uint32) bool {
+	return c.Present && c.Dst == dst && nowSec <= c.Expire
+}
+
+// PassportMAC is one Passport trailer entry: the MAC the source AS
+// computed under the key it shares with a specific transit AS.
+type PassportMAC struct {
+	AS  ASID
+	MAC [4]byte
+}
+
+// PassportStamp is the Passport source-authentication trailer: one MAC per
+// AS on the path, verified in path order (internal/passport). A transit
+// AS with several on-path routers verifies once, at ingress.
+type PassportStamp struct {
+	Present bool
+	// Next indexes the first unverified entry.
+	Next    int
+	Entries []PassportMAC
+}
+
+// MultiFB is one bottleneck's feedback inside the Appendix B.1
+// multi-bottleneck header: the link and its incr/decr action.
+type MultiFB struct {
+	Link   LinkID
+	Action FBAction
+}
+
+// MultiHeader is the Appendix B.1 alternative NetFence header carrying
+// feedback from every on-path bottleneck, protected by a single chained
+// token (Eq. 4-5 of the paper's appendix).
+type MultiHeader struct {
+	Present bool
+	TS      uint32
+	Items   []MultiFB
+	Token   [4]byte
+}
+
+// Packet is a simulated packet. Packets are heap-allocated once at the
+// sender and mutated in place as they traverse the network, mirroring how
+// a real router rewrites the shim header.
+type Packet struct {
+	// UID is a simulation-unique identifier, handy for tracing.
+	UID uint64
+
+	Src, Dst     NodeID
+	SrcAS, DstAS ASID
+	Flow         FlowID
+
+	Kind Kind
+	// Prio is the request-packet priority level (§4.2); 0 is the lowest.
+	Prio uint8
+	// Size is the total wire size in bytes, including all headers.
+	Size int32
+	// Payload is the number of application bytes carried.
+	Payload int32
+
+	Proto Proto
+	TCP   TCPInfo
+
+	// FB is the forward congestion policing feedback.
+	FB Feedback
+	// Ret is the returned feedback for the reverse path.
+	Ret Returned
+	// MFB and RetMFB are the forward and returned multi-bottleneck
+	// headers of the Appendix B.1 extension (unused in the core design).
+	MFB    MultiHeader
+	RetMFB MultiHeader
+
+	// Cap is the TVA+ baseline's capability slot: the authorization the
+	// sender presents for this packet.
+	Cap Capability
+	// CapGrant piggybacks a receiver's capability grant back to the
+	// packet's destination (TVA+ baseline).
+	CapGrant Capability
+	// Passport is the source-authentication trailer.
+	Passport PassportStamp
+
+	// EnqueuedAt records when the packet last entered a queue, for
+	// queueing-delay metrics.
+	EnqueuedAt sim.Time
+	// SentAt records when the transport first emitted the packet.
+	SentAt sim.Time
+}
+
+// IsSYN reports whether the packet is a TCP SYN (and not a SYN-ACK).
+func (p *Packet) IsSYN() bool {
+	return p.Proto == ProtoTCP && p.TCP.Flags&FlagSYN != 0 && p.TCP.Flags&FlagACK == 0
+}
+
+// Reverse returns src/dst metadata swapped, for building replies.
+func (p *Packet) Reverse() (src, dst NodeID, srcAS, dstAS ASID) {
+	return p.Dst, p.Src, p.DstAS, p.SrcAS
+}
+
+// Sizes of protocol headers in bytes, matching §4.6 of the paper: a
+// request packet is estimated as 92 B = 40 B TCP/IP + 28 B NetFence header
+// + 24 B Passport header.
+const (
+	SizeIPTCP      = 40
+	SizeIPUDP      = 28
+	SizeNetFence   = 20 // common case: nop feedback both directions (§6.1)
+	SizeNetFenceMx = 28 // worst case: mon feedback both directions
+	SizePassport   = 24
+	// SizeRequest is the canonical request-packet size used throughout the
+	// paper's evaluation.
+	SizeRequest = SizeIPTCP + SizeNetFenceMx + SizePassport
+	// SizeData is the canonical full-size data packet.
+	SizeData = 1500
+	// SizeACK is a TCP ACK carrying NetFence and Passport headers.
+	SizeACK = SizeIPTCP + SizeNetFenceMx + SizePassport
+	// SizeFeedbackPkt is a dedicated feedback packet (UDP).
+	SizeFeedbackPkt = SizeIPUDP + SizeNetFenceMx + SizePassport
+)

@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindLegacy:  "legacy",
+		KindRequest: "request",
+		KindRegular: "regular",
+		Kind(9):     "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsSYN(t *testing.T) {
+	p := Packet{Proto: ProtoTCP, TCP: TCPInfo{Flags: FlagSYN}}
+	if !p.IsSYN() {
+		t.Fatal("SYN not recognized")
+	}
+	p.TCP.Flags |= FlagACK
+	if p.IsSYN() {
+		t.Fatal("SYN-ACK misclassified as SYN")
+	}
+	p = Packet{Proto: ProtoUDP, TCP: TCPInfo{Flags: FlagSYN}}
+	if p.IsSYN() {
+		t.Fatal("UDP packet classified as SYN")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := Packet{Src: 1, Dst: 2, SrcAS: 10, DstAS: 20}
+	src, dst, sas, das := p.Reverse()
+	if src != 2 || dst != 1 || sas != 20 || das != 10 {
+		t.Fatalf("Reverse = %v %v %v %v", src, dst, sas, das)
+	}
+}
+
+func TestCapabilityValidity(t *testing.T) {
+	prop := func(dst int32, expire uint32, now uint32, queryDst int32) bool {
+		c := Capability{Present: true, Dst: NodeID(dst), Expire: expire}
+		got := c.Valid(NodeID(queryDst), now)
+		want := NodeID(queryDst) == NodeID(dst) && now <= expire
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if (Capability{Dst: 1, Expire: 10}).Valid(1, 5) {
+		t.Fatal("absent capability validated")
+	}
+}
+
+func TestFeedbackModePredicates(t *testing.T) {
+	f := Feedback{Mode: FBNop}
+	if !f.IsNop() || f.IsMon() {
+		t.Fatal("nop predicates wrong")
+	}
+	f.Mode = FBMon
+	if f.IsNop() || !f.IsMon() {
+		t.Fatal("mon predicates wrong")
+	}
+}
+
+func TestSizeConstantsMatchPaper(t *testing.T) {
+	// §4.6: a request packet is 92 bytes — 40 TCP/IP + 28 NetFence + 24
+	// Passport.
+	if SizeRequest != 92 {
+		t.Fatalf("SizeRequest = %d, want 92", SizeRequest)
+	}
+	if SizeIPTCP+SizeNetFenceMx+SizePassport != SizeRequest {
+		t.Fatal("request size does not decompose per §4.6")
+	}
+	if SizeData != 1500 {
+		t.Fatalf("SizeData = %d", SizeData)
+	}
+	if SizeNetFence != 20 || SizeNetFenceMx != 28 {
+		t.Fatal("NetFence header size constants drifted from §6.1")
+	}
+}

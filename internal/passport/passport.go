@@ -1,0 +1,126 @@
+// Package passport implements the subset of Passport (Liu et al.,
+// NSDI 2008) that NetFence depends on: a secret key shared by every pair
+// of Autonomous Systems, established by piggybacking a Diffie-Hellman
+// exchange on inter-domain routing, and per-AS MACs that let each transit
+// AS verify a packet really originates from its claimed source AS.
+//
+// NetFence uses Passport for two things (§4.5): preventing source-address
+// spoofing, and providing the pairwise keys Kai that protect L-down
+// feedback. The simulated key exchange stands in for the BGP piggyback:
+// both end up with a table of pairwise symmetric keys, which is all the
+// data path consumes.
+package passport
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+
+	"netfence/internal/cmac"
+	"netfence/internal/packet"
+)
+
+// Registry holds the pairwise AS keys. In deployment each AS derives the
+// shared keys from the in-band Diffie-Hellman exchange; here a trusted
+// setup draws them from a seeded RNG, which is equivalent for every
+// data-path purpose (both parties of a pair hold the same secret, third
+// parties do not).
+type Registry struct {
+	keys map[[2]packet.ASID]*cmac.CMAC
+}
+
+// NewRegistry establishes a key for every unordered pair of the given
+// ASes, including the self-pair (used when the bottleneck is in the
+// sender's own AS).
+func NewRegistry(rng *rand.Rand, ases []packet.ASID) *Registry {
+	r := &Registry{keys: make(map[[2]packet.ASID]*cmac.CMAC)}
+	for i, a := range ases {
+		for _, b := range ases[i:] {
+			var k cmac.Key
+			for j := 0; j < 16; j += 8 {
+				binary.LittleEndian.PutUint64(k[j:], rng.Uint64())
+			}
+			r.keys[pairKey(a, b)] = cmac.New(k)
+		}
+	}
+	return r
+}
+
+func pairKey(a, b packet.ASID) [2]packet.ASID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]packet.ASID{a, b}
+}
+
+// Key returns the MAC keyed with the secret shared by ASes a and b, or
+// nil if the pair is unknown.
+func (r *Registry) Key(a, b packet.ASID) *cmac.CMAC {
+	return r.keys[pairKey(a, b)]
+}
+
+// macInput is the canonical Passport MAC input. Passport's MAC covers the
+// source and destination addresses, the packet length and the first bytes
+// of the transport payload (§5.2.2 of the NetFence paper); the simulation
+// covers the equivalent invariant packet fields.
+func macInput(buf *[20]byte, p *packet.Packet, transitAS packet.ASID) []byte {
+	binary.BigEndian.PutUint32(buf[0:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Dst))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.SrcAS))
+	binary.BigEndian.PutUint32(buf[12:], uint32(transitAS))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.Size))
+	return buf[:]
+}
+
+// Stamp writes the Passport trailer into p for the given AS-level path
+// (excluding the source AS itself). It is called by the border router of
+// the source AS.
+func (r *Registry) Stamp(p *packet.Packet, path []packet.ASID) {
+	entries := make([]packet.PassportMAC, len(path))
+	var buf [20]byte
+	for i, as := range path {
+		entries[i].AS = as
+		key := r.Key(p.SrcAS, as)
+		if key == nil {
+			continue
+		}
+		entries[i].MAC = key.Sum32(macInput(&buf, p, as))
+	}
+	p.Passport = packet.PassportStamp{Present: true, Entries: entries}
+}
+
+// Verify checks p's Passport trailer at the given transit AS. Entries are
+// consumed in path order: verifying an AS that appears later in the
+// trailer skips (and thereby invalidates) the ones before it, while
+// re-verifying at a second router of an already-verified AS succeeds
+// without consuming anything — a transit AS verifies at ingress only.
+func (r *Registry) Verify(p *packet.Packet, transitAS packet.ASID) bool {
+	st := &p.Passport
+	if !st.Present {
+		return false
+	}
+	// Already verified at this AS's ingress?
+	for i := 0; i < st.Next && i < len(st.Entries); i++ {
+		if st.Entries[i].AS == transitAS {
+			return true
+		}
+	}
+	for i := st.Next; i < len(st.Entries); i++ {
+		if st.Entries[i].AS != transitAS {
+			continue
+		}
+		key := r.Key(p.SrcAS, transitAS)
+		if key == nil {
+			return false
+		}
+		var buf [20]byte
+		want := key.Sum32(macInput(&buf, p, transitAS))
+		// Entries bypassed by this verification are invalidated: the
+		// packet demonstrably did not enter those ASes before this one.
+		for j := st.Next; j < i; j++ {
+			st.Entries[j].AS = -1
+		}
+		st.Next = i + 1
+		return want == st.Entries[i].MAC
+	}
+	return false
+}

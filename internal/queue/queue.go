@@ -1,0 +1,83 @@
+// Package queue defines the queue discipline interface shared by links in
+// the network simulator and the statistics every implementation exports.
+// Implementations live in internal/aqm (DropTail, RED), internal/fq (DRR,
+// hierarchical DRR) and internal/core (the NetFence three-channel queue).
+package queue
+
+import (
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// Stats are cumulative counters exported by every queue.
+type Stats struct {
+	Enqueued      uint64
+	Dequeued      uint64
+	Dropped       uint64
+	DequeuedBytes uint64
+	DroppedBytes  uint64
+}
+
+// LossFraction returns drops/(drops+dequeues) since the counters in prev
+// were captured — the regular-packet loss rate of Figure 19.
+func (s Stats) LossFraction(prev Stats) float64 {
+	drops := s.Dropped - prev.Dropped
+	deqs := s.Dequeued - prev.Dequeued
+	if drops+deqs == 0 {
+		return 0
+	}
+	return float64(drops) / float64(drops+deqs)
+}
+
+// Queue is a link's packet buffer and scheduling discipline.
+//
+// Dequeue returns the next packet to transmit, or nil. When it returns nil
+// with a non-zero retry time, the queue holds packets that are not yet
+// eligible (e.g. a rate-capped request channel); the link must try again
+// at that time. A nil packet with zero retry means the queue is empty.
+type Queue interface {
+	Enqueue(p *packet.Packet, now sim.Time) bool
+	Dequeue(now sim.Time) (*packet.Packet, sim.Time)
+	Len() int
+	Bytes() int
+	Stats() Stats
+}
+
+// FIFO is an unbounded first-in-first-out queue: the zero value is ready
+// to use. It serves as the default discipline for uncongestible links
+// (host uplinks, well-provisioned edges).
+type FIFO struct {
+	q     Ring
+	bytes int
+	stats Stats
+}
+
+// Enqueue always succeeds.
+func (f *FIFO) Enqueue(p *packet.Packet, now sim.Time) bool {
+	p.EnqueuedAt = now
+	f.q.Push(p)
+	f.bytes += int(p.Size)
+	f.stats.Enqueued++
+	return true
+}
+
+// Dequeue pops the oldest packet.
+func (f *FIFO) Dequeue(now sim.Time) (*packet.Packet, sim.Time) {
+	p := f.q.Pop()
+	if p == nil {
+		return nil, 0
+	}
+	f.bytes -= int(p.Size)
+	f.stats.Dequeued++
+	f.stats.DequeuedBytes += uint64(p.Size)
+	return p, 0
+}
+
+// Len returns the number of queued packets.
+func (f *FIFO) Len() int { return f.q.Len() }
+
+// Bytes returns the number of queued bytes.
+func (f *FIFO) Bytes() int { return f.bytes }
+
+// Stats returns cumulative counters.
+func (f *FIFO) Stats() Stats { return f.stats }

@@ -1,0 +1,43 @@
+package ratelimit
+
+// AIMD is the robust rate-limit controller of §4.3.4 and Figure 17.
+// Once per control interval I_lim the access router calls Adjust with
+// whether fresh L-up feedback was seen (hasIncr) and the limiter's
+// measured throughput:
+//
+//   - hasIncr and throughput > rate/2: additive increase by Delta;
+//   - hasIncr otherwise: hold (prevents a sender from inflating its limit
+//     by sending slowly for a long time);
+//   - no hasIncr: multiplicative decrease by (1-Delta_MD) — hiding L-down
+//     feedback cannot prevent the decrease, because obtaining L-up
+//     feedback for a congested interval is impossible (Figure 4).
+type AIMD struct {
+	// DeltaBps is the additive-increase step (Figure 3: 12 kbps).
+	DeltaBps int64
+	// MD is the multiplicative-decrease factor delta (Figure 3: 0.1).
+	MD float64
+	// MinBps floors the rate limit so it can recover; the paper leaves
+	// the floor unspecified.
+	MinBps int64
+}
+
+// DefaultAIMD returns the Figure 3 controller parameters.
+func DefaultAIMD() AIMD {
+	return AIMD{DeltaBps: 12_000, MD: 0.1, MinBps: 512}
+}
+
+// Adjust returns the new rate limit given the interval's observations.
+func (a AIMD) Adjust(rateBps int64, hasIncr bool, throughputBps int64) int64 {
+	switch {
+	case hasIncr && throughputBps > rateBps/2:
+		rateBps += a.DeltaBps
+	case hasIncr:
+		// hold
+	default:
+		rateBps = int64(float64(rateBps) * (1 - a.MD))
+	}
+	if rateBps < a.MinBps {
+		rateBps = a.MinBps
+	}
+	return rateBps
+}

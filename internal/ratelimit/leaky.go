@@ -1,0 +1,189 @@
+package ratelimit
+
+import (
+	"netfence/internal/packet"
+	"netfence/internal/queue"
+	"netfence/internal/sim"
+)
+
+// Verdict is the outcome of submitting a packet to a LeakyLimiter,
+// mirroring the PASS/CACHED/DROP results of Figure 16.
+type Verdict uint8
+
+// Submission outcomes.
+const (
+	// Pass: the packet may be forwarded immediately.
+	Pass Verdict = iota
+	// Cached: the limiter buffered the packet and will emit it later
+	// through the forward callback.
+	Cached
+	// Drop: the packet was discarded (caching delay would be too long).
+	Drop
+)
+
+// LeakyLimiter is the per-(sender, bottleneck) regular-packet rate
+// limiter (§4.3.3, Figure 16): a queue whose de-queuing rate is the rate
+// limit. The paper deliberately uses a queue rather than a token bucket —
+// a token bucket would let strategic senders synchronize bursts above the
+// rate limit (on-off attacks); the queue shape makes the instantaneous
+// output rate never exceed the limit while still absorbing TCP's bursts.
+type LeakyLimiter struct {
+	eng *sim.Engine
+	// rate is the current rate limit in bits per second.
+	rate int64
+	// MaxDelay bounds the caching delay; packets that would wait longer
+	// are dropped (Figure 16's caching_delay_too_long).
+	MaxDelay sim.Time
+	// forward emits a cached packet when its departure time arrives.
+	forward func(*packet.Packet)
+
+	q          queue.Ring
+	bytes      int
+	lastDepart sim.Time
+	unleashEv  *sim.Event
+
+	// Interval accounting for the AIMD controller (Figure 17).
+	intervalBytes int64
+	drops         uint64
+	lastDropAt    sim.Time
+	lastActive    sim.Time
+}
+
+// NewLeakyLimiter creates a limiter emitting through forward. The first
+// packet may depart immediately.
+func NewLeakyLimiter(eng *sim.Engine, rateBps int64, maxDelay sim.Time, forward func(*packet.Packet)) *LeakyLimiter {
+	return &LeakyLimiter{
+		eng:        eng,
+		rate:       rateBps,
+		MaxDelay:   maxDelay,
+		forward:    forward,
+		lastDepart: eng.Now() - sim.Hour, // allow an immediate first departure
+		lastActive: eng.Now(),
+	}
+}
+
+// Rate returns the current rate limit in bits per second.
+func (l *LeakyLimiter) Rate() int64 { return l.rate }
+
+// SetRate changes the rate limit and reschedules any pending departure,
+// Figure 17's update_packet_cache.
+func (l *LeakyLimiter) SetRate(rateBps int64) {
+	if rateBps < 1 {
+		rateBps = 1
+	}
+	l.rate = rateBps
+	if l.q.Len() > 0 {
+		l.scheduleUnleash()
+	}
+}
+
+// Submit applies Figure 16's rate_limit_regular_packet.
+func (l *LeakyLimiter) Submit(p *packet.Packet) Verdict {
+	now := l.eng.Now()
+	l.lastActive = now
+	if l.q.Len() == 0 {
+		// Enough time since the last departure for one packet at the
+		// current rate: pass through without caching.
+		if now-l.lastDepart >= sim.TxTime(int(p.Size), l.rate) {
+			l.lastDepart = now
+			l.intervalBytes += int64(p.Size)
+			return Pass
+		}
+	}
+	if l.delayFor(int(p.Size)) > l.MaxDelay {
+		l.drops++
+		l.lastDropAt = now
+		return Drop
+	}
+	p.EnqueuedAt = now
+	l.q.Push(p)
+	l.bytes += int(p.Size)
+	if l.q.Len() == 1 {
+		l.scheduleUnleash()
+	}
+	return Cached
+}
+
+// delayFor estimates the caching delay a packet of the given size would
+// experience behind the current backlog.
+func (l *LeakyLimiter) delayFor(size int) sim.Time {
+	return sim.TxTime(l.bytes+size, l.rate)
+}
+
+// scheduleUnleash (re)arms the departure timer for the head packet,
+// Figure 16's schedule_next_unleash.
+func (l *LeakyLimiter) scheduleUnleash() {
+	if l.unleashEv != nil {
+		l.unleashEv.Cancel()
+	}
+	head := l.q.Peek()
+	if head == nil {
+		l.unleashEv = nil
+		return
+	}
+	at := l.lastDepart + sim.TxTime(int(head.Size), l.rate)
+	l.unleashEv = l.eng.At(at, l.unleash)
+}
+
+// unleash emits the head packet (Figure 16's unleash_packet).
+func (l *LeakyLimiter) unleash() {
+	p := l.q.Pop()
+	if p == nil {
+		return
+	}
+	l.bytes -= int(p.Size)
+	now := l.eng.Now()
+	l.lastDepart = now
+	l.lastActive = now
+	l.intervalBytes += int64(p.Size)
+	if l.q.Len() > 0 {
+		l.scheduleUnleash()
+	} else {
+		l.unleashEv = nil
+	}
+	l.forward(p)
+}
+
+// CreditBytes adds to the interval throughput accumulator without
+// passing a packet through the limiter. The Appendix B.2 inference
+// variant uses it: a packet physically traverses only the smallest
+// on-path limiter, but counts toward every inferred limiter's throughput
+// as if chained through all of them.
+func (l *LeakyLimiter) CreditBytes(n int) {
+	l.intervalBytes += int64(n)
+	l.lastActive = l.eng.Now()
+}
+
+// TakeIntervalThroughput returns the average forwarded rate in bits per
+// second over the elapsed interval and resets the accumulator; the AIMD
+// controller calls it once per control interval.
+func (l *LeakyLimiter) TakeIntervalThroughput(interval sim.Time) int64 {
+	bits := l.intervalBytes * 8
+	l.intervalBytes = 0
+	if interval <= 0 {
+		return 0
+	}
+	return int64(float64(bits) / interval.Seconds())
+}
+
+// Backlog returns the number of cached packets.
+func (l *LeakyLimiter) Backlog() int { return l.q.Len() }
+
+// Drops returns the cumulative packets discarded for excessive delay.
+func (l *LeakyLimiter) Drops() uint64 { return l.drops }
+
+// LastDropAt returns when the limiter last discarded a packet.
+func (l *LeakyLimiter) LastDropAt() sim.Time { return l.lastDropAt }
+
+// LastActive returns when the limiter last saw or emitted a packet.
+func (l *LeakyLimiter) LastActive() sim.Time { return l.lastActive }
+
+// Stop cancels any pending departure timer. Cached packets are abandoned;
+// callers remove limiters only after an idle period (§4.3.1's Ta), when
+// the cache is empty.
+func (l *LeakyLimiter) Stop() {
+	if l.unleashEv != nil {
+		l.unleashEv.Cancel()
+		l.unleashEv = nil
+	}
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand/v2"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Engine.At and Engine.After. An Event may be cancelled
+// before it fires, in which case it is skipped when popped from the heap.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when not queued
+}
+
+// Cancel prevents the event from firing. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+		ev.fn = nil
+	}
+}
+
+// Cancelled reports whether the event was cancelled before execution.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Time returns the instant the event is scheduled for.
+func (ev *Event) Time() Time { return ev.at }
+
+// Engine is a discrete-event scheduler. It is not safe for concurrent use:
+// simulations are single-threaded and deterministic by design.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	// Rand is the simulation-wide random source, seeded at construction so
+	// that runs are reproducible.
+	Rand *rand.Rand
+	// executed counts events that have run, for diagnostics.
+	executed uint64
+}
+
+// New returns an engine whose clock starts at zero and whose random source
+// is seeded with the given seed.
+func New(seed uint64) *Engine {
+	return &Engine{
+		heap: make(eventHeap, 0, 1024),
+		Rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not been popped yet).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at the absolute time t. Scheduling in the past is
+// clamped to the current time, preserving execution-order determinism.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.heap.push(ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty. Cancelled events are discarded without being counted as steps.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 {
+		ev := e.heap.peek()
+		if ev.cancelled {
+			e.heap.pop()
+			continue
+		}
+		if ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Ticker invokes a callback periodically. Create one with Engine.Tick.
+type Ticker struct {
+	eng      *Engine
+	interval Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Tick schedules fn to run every interval, with the first invocation one
+// interval from now. It panics if interval is not positive.
+func (e *Engine) Tick(interval Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,72 @@
+package sim
+
+// eventHeap is a binary min-heap ordered by (time, sequence). A hand-rolled
+// heap avoids the interface indirection of container/heap on the hottest
+// path of the simulator.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	ev.index = len(*h) - 1
+	h.up(ev.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old.swap(0, n-1)
+	old[n-1] = nil
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h eventHeap) peek() *Event { return h[0] }
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,245 @@
+// Package topo builds the evaluation topologies of §6.3: the dumbbell
+// used by the unwanted-traffic and single-bottleneck collusion
+// experiments, and the parking lot used by the multi-bottleneck study.
+package topo
+
+import (
+	"fmt"
+
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// DumbbellConfig parameterizes the §6.3.1 topology: ten source ASes
+// connect through a transit AS (routers Rbl—Rbr, the bottleneck) to a
+// destination AS holding the victim, plus optional colluder ASes hanging
+// off Rbr (§6.3.2 adds nine of them).
+type DumbbellConfig struct {
+	// SrcASes is the number of source-side ASes (paper: 10).
+	SrcASes int
+	// HostsPerAS is the number of sender hosts per source AS (paper: 100).
+	HostsPerAS int
+	// ColluderASes is the number of right-side ASes with one colluder
+	// host each (paper: 9 in the collusion experiments, 0 otherwise).
+	ColluderASes int
+	// BottleneckBps is the Rbl->Rbr capacity; the paper scales it from
+	// 400 Mbps down to 50 Mbps to emulate 25K-200K senders on 10 Gbps.
+	BottleneckBps int64
+	// EdgeBps is the capacity of all non-bottleneck links ("sufficient
+	// to avoid congestion").
+	EdgeBps int64
+	// Delay is the per-link propagation delay (paper: 10 ms).
+	Delay sim.Time
+}
+
+// DefaultDumbbell mirrors the paper's setup at a configurable sender
+// count: senders are split evenly over ten source ASes.
+func DefaultDumbbell(senders int, bottleneckBps int64) DumbbellConfig {
+	ases := 10
+	if senders < ases {
+		ases = senders
+	}
+	return DumbbellConfig{
+		SrcASes:       ases,
+		HostsPerAS:    senders / ases,
+		BottleneckBps: bottleneckBps,
+		EdgeBps:       10_000_000_000,
+		Delay:         10 * sim.Millisecond,
+	}
+}
+
+// Dumbbell is the constructed topology.
+type Dumbbell struct {
+	Net *netsim.Network
+
+	// Senders lists every sender host, AS by AS.
+	Senders []*netsim.Node
+	// SrcAccess lists the source-AS access routers, parallel to AS order.
+	SrcAccess []*netsim.Node
+
+	// Rbl and Rbr are the transit-AS routers; Bottleneck is Rbl->Rbr.
+	Rbl, Rbr   *netsim.Node
+	Bottleneck *netsim.Link
+	// Reverse is the Rbr->Rbl link.
+	Reverse *netsim.Link
+
+	Victim       *netsim.Node
+	VictimAccess *netsim.Node
+
+	// Colluders holds one host per colluder AS, with parallel access
+	// routers in ColluderAccess.
+	Colluders      []*netsim.Node
+	ColluderAccess []*netsim.Node
+}
+
+// NewDumbbell builds the topology and computes routes.
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	n := netsim.New(eng)
+	d := &Dumbbell{Net: n}
+
+	transitAS := packet.ASID(1000)
+	d.Rbl = n.NewNode("Rbl", transitAS)
+	d.Rbr = n.NewNode("Rbr", transitAS)
+	d.Bottleneck, d.Reverse = n.Connect(d.Rbl, d.Rbr, cfg.BottleneckBps, cfg.Delay)
+
+	for i := 0; i < cfg.SrcASes; i++ {
+		as := packet.ASID(1 + i)
+		ra := n.NewNode(fmt.Sprintf("Ra%d", i), as)
+		d.SrcAccess = append(d.SrcAccess, ra)
+		n.Connect(ra, d.Rbl, cfg.EdgeBps, cfg.Delay)
+		for h := 0; h < cfg.HostsPerAS; h++ {
+			host := n.NewHost(fmt.Sprintf("s%d.%d", i, h), as)
+			n.Connect(host, ra, cfg.EdgeBps, cfg.Delay)
+			d.Senders = append(d.Senders, host)
+		}
+	}
+
+	victimAS := packet.ASID(2000)
+	d.VictimAccess = n.NewNode("Rv", victimAS)
+	n.Connect(d.Rbr, d.VictimAccess, cfg.EdgeBps, cfg.Delay)
+	d.Victim = n.NewHost("victim", victimAS)
+	n.Connect(d.VictimAccess, d.Victim, cfg.EdgeBps, cfg.Delay)
+
+	for i := 0; i < cfg.ColluderASes; i++ {
+		as := packet.ASID(3000 + i)
+		rc := n.NewNode(fmt.Sprintf("Rc%d", i), as)
+		d.ColluderAccess = append(d.ColluderAccess, rc)
+		n.Connect(d.Rbr, rc, cfg.EdgeBps, cfg.Delay)
+		c := n.NewHost(fmt.Sprintf("c%d", i), as)
+		n.Connect(rc, c, cfg.EdgeBps, cfg.Delay)
+		d.Colluders = append(d.Colluders, c)
+	}
+
+	n.ComputeRoutes()
+	return d
+}
+
+// AllASes returns every AS identifier in the topology, for Passport key
+// establishment.
+func (d *Dumbbell) AllASes() []packet.ASID {
+	seen := map[packet.ASID]bool{}
+	var out []packet.ASID
+	for _, nd := range d.Net.Nodes {
+		if !seen[nd.AS] {
+			seen[nd.AS] = true
+			out = append(out, nd.AS)
+		}
+	}
+	return out
+}
+
+// ParkingLotConfig parameterizes the multi-bottleneck topology: a chain
+// R0 -L1-> R1 -L2-> R2 with three sender groups. Group A crosses both
+// bottlenecks, Group C only L1, Group B only L2 (§6.3.2).
+type ParkingLotConfig struct {
+	// SendersPerGroup is the number of hosts per group (paper: 1000).
+	SendersPerGroup int
+	// ASesPerGroup splits each group's senders over this many ASes.
+	ASesPerGroup int
+	// ColluderASesPerGroup is the number of colluder destinations per
+	// group's attackers.
+	ColluderASesPerGroup int
+	// L1Bps and L2Bps are the two bottleneck capacities.
+	L1Bps, L2Bps int64
+	EdgeBps      int64
+	Delay        sim.Time
+}
+
+// DefaultParkingLot mirrors the paper's three-group setup at a
+// configurable scale.
+func DefaultParkingLot(sendersPerGroup int, l1, l2 int64) ParkingLotConfig {
+	return ParkingLotConfig{
+		SendersPerGroup:      sendersPerGroup,
+		ASesPerGroup:         5,
+		ColluderASesPerGroup: 3,
+		L1Bps:                l1,
+		L2Bps:                l2,
+		EdgeBps:              10_000_000_000,
+		Delay:                10 * sim.Millisecond,
+	}
+}
+
+// PLGroup holds one sender group and its destinations.
+type PLGroup struct {
+	Senders   []*netsim.Node
+	Access    []*netsim.Node
+	Victim    *netsim.Node
+	Colluders []*netsim.Node
+}
+
+// ParkingLot is the constructed multi-bottleneck topology.
+type ParkingLot struct {
+	Net        *netsim.Network
+	R0, R1, R2 *netsim.Node
+	L1, L2     *netsim.Link
+	// Groups[0] = A (crosses L1 and L2), Groups[1] = B (L2 only),
+	// Groups[2] = C (L1 only).
+	Groups [3]PLGroup
+}
+
+// NewParkingLot builds the topology and computes routes.
+func NewParkingLot(eng *sim.Engine, cfg ParkingLotConfig) *ParkingLot {
+	n := netsim.New(eng)
+	pl := &ParkingLot{Net: n}
+	transitAS := packet.ASID(1000)
+	pl.R0 = n.NewNode("R0", transitAS)
+	pl.R1 = n.NewNode("R1", transitAS)
+	pl.R2 = n.NewNode("R2", transitAS)
+	pl.L1, _ = n.Connect(pl.R0, pl.R1, cfg.L1Bps, cfg.Delay)
+	pl.L2, _ = n.Connect(pl.R1, pl.R2, cfg.L2Bps, cfg.Delay)
+
+	asCounter := packet.ASID(1)
+	buildGroup := func(g int, attach *netsim.Node, dstAttach *netsim.Node) {
+		grp := &pl.Groups[g]
+		perAS := cfg.SendersPerGroup / cfg.ASesPerGroup
+		for i := 0; i < cfg.ASesPerGroup; i++ {
+			as := asCounter
+			asCounter++
+			ra := n.NewNode(fmt.Sprintf("g%dRa%d", g, i), as)
+			grp.Access = append(grp.Access, ra)
+			n.Connect(ra, attach, cfg.EdgeBps, cfg.Delay)
+			for h := 0; h < perAS; h++ {
+				host := n.NewHost(fmt.Sprintf("g%ds%d.%d", g, i, h), as)
+				n.Connect(host, ra, cfg.EdgeBps, cfg.Delay)
+				grp.Senders = append(grp.Senders, host)
+			}
+		}
+		// Victim AS.
+		vas := asCounter
+		asCounter++
+		rv := n.NewNode(fmt.Sprintf("g%dRv", g), vas)
+		n.Connect(dstAttach, rv, cfg.EdgeBps, cfg.Delay)
+		grp.Victim = n.NewHost(fmt.Sprintf("g%dvictim", g), vas)
+		n.Connect(rv, grp.Victim, cfg.EdgeBps, cfg.Delay)
+		// Colluder ASes.
+		for i := 0; i < cfg.ColluderASesPerGroup; i++ {
+			cas := asCounter
+			asCounter++
+			rc := n.NewNode(fmt.Sprintf("g%dRc%d", g, i), cas)
+			n.Connect(dstAttach, rc, cfg.EdgeBps, cfg.Delay)
+			c := n.NewHost(fmt.Sprintf("g%dc%d", g, i), cas)
+			n.Connect(rc, c, cfg.EdgeBps, cfg.Delay)
+			grp.Colluders = append(grp.Colluders, c)
+		}
+	}
+	buildGroup(0, pl.R0, pl.R2) // A: enters at R0, exits at R2 (L1+L2)
+	buildGroup(1, pl.R1, pl.R2) // B: enters at R1, exits at R2 (L2)
+	buildGroup(2, pl.R0, pl.R1) // C: enters at R0, exits at R1 (L1)
+
+	n.ComputeRoutes()
+	return pl
+}
+
+// AllASes returns every AS identifier in the topology.
+func (pl *ParkingLot) AllASes() []packet.ASID {
+	seen := map[packet.ASID]bool{}
+	var out []packet.ASID
+	for _, nd := range pl.Net.Nodes {
+		if !seen[nd.AS] {
+			seen[nd.AS] = true
+			out = append(out, nd.AS)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"testing"
+
+	"netfence/internal/sim"
+)
+
+func TestDumbbellStructure(t *testing.T) {
+	eng := sim.New(1)
+	cfg := DefaultDumbbell(100, 10_000_000)
+	cfg.ColluderASes = 9
+	d := NewDumbbell(eng, cfg)
+	if len(d.Senders) != 100 {
+		t.Fatalf("senders = %d", len(d.Senders))
+	}
+	if len(d.SrcAccess) != 10 || len(d.Colluders) != 9 {
+		t.Fatalf("access=%d colluders=%d", len(d.SrcAccess), len(d.Colluders))
+	}
+	// Every sender routes to the victim through the bottleneck.
+	for _, s := range d.Senders {
+		path := d.Net.PathLinks(s.ID, d.Victim.ID)
+		found := false
+		for _, l := range path {
+			if l == d.Bottleneck {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sender %v does not cross the bottleneck", s)
+		}
+	}
+	// Sender-to-victim path: host->Ra->Rbl->Rbr->Rv->victim = 5 links.
+	if p := d.Net.PathLinks(d.Senders[0].ID, d.Victim.ID); len(p) != 5 {
+		t.Fatalf("path length = %d, want 5", len(p))
+	}
+	// Colluder traffic also crosses the bottleneck.
+	for _, c := range d.Colluders {
+		path := d.Net.PathLinks(d.Senders[0].ID, c.ID)
+		found := false
+		for _, l := range path {
+			if l == d.Bottleneck {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("sender->colluder path misses the bottleneck")
+		}
+	}
+}
+
+func TestDumbbellASAssignment(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDumbbell(eng, DefaultDumbbell(40, 10_000_000))
+	// 10 src ASes + transit + victim AS.
+	if got := len(d.AllASes()); got != 12 {
+		t.Fatalf("AS count = %d, want 12", got)
+	}
+	// Hosts in the same AS share their access router.
+	a0 := d.Senders[0]
+	a1 := d.Senders[1]
+	if a0.AS != a1.AS {
+		t.Fatalf("first two senders in different ASes: %d %d", a0.AS, a1.AS)
+	}
+}
+
+func TestDumbbellSmallSenderCount(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDumbbell(eng, DefaultDumbbell(4, 1_000_000))
+	if len(d.Senders) != 4 || len(d.SrcAccess) != 4 {
+		t.Fatalf("senders=%d access=%d", len(d.Senders), len(d.SrcAccess))
+	}
+}
+
+func TestParkingLotPaths(t *testing.T) {
+	eng := sim.New(1)
+	pl := NewParkingLot(eng, DefaultParkingLot(30, 10_000_000, 10_000_000))
+	crosses := func(src, dst int32, l *struct{}) {}
+	_ = crosses
+	has := func(path []*struct{}) {}
+	_ = has
+
+	check := func(g int, wantL1, wantL2 bool) {
+		s := pl.Groups[g].Senders[0]
+		v := pl.Groups[g].Victim
+		path := pl.Net.PathLinks(s.ID, v.ID)
+		l1, l2 := false, false
+		for _, l := range path {
+			if l == pl.L1 {
+				l1 = true
+			}
+			if l == pl.L2 {
+				l2 = true
+			}
+		}
+		if l1 != wantL1 || l2 != wantL2 {
+			t.Fatalf("group %d: crosses L1=%v L2=%v, want %v %v", g, l1, l2, wantL1, wantL2)
+		}
+	}
+	check(0, true, true)  // A
+	check(1, false, true) // B
+	check(2, true, false) // C
+}
+
+func TestParkingLotGroupSizes(t *testing.T) {
+	eng := sim.New(1)
+	pl := NewParkingLot(eng, DefaultParkingLot(30, 10_000_000, 20_000_000))
+	for g := 0; g < 3; g++ {
+		if got := len(pl.Groups[g].Senders); got != 30 {
+			t.Fatalf("group %d senders = %d", g, got)
+		}
+		if len(pl.Groups[g].Colluders) != 3 {
+			t.Fatalf("group %d colluders = %d", g, len(pl.Groups[g].Colluders))
+		}
+	}
+	if pl.L1.Rate != 10_000_000 || pl.L2.Rate != 20_000_000 {
+		t.Fatal("bottleneck rates wrong")
+	}
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// UDPSource sends constant-rate UDP traffic — the paper's attack load is
+// 1 Mbps of 1500 B packets per attacker. With OnTime/OffTime set it
+// becomes the synchronized on-off source of the §6.3.2 strategic attacks:
+// all sources constructed with the same phase turn on and off together,
+// maximizing burst synchronization.
+type UDPSource struct {
+	Dst     packet.NodeID
+	Flow    packet.FlowID
+	RateBps int64
+	PktSize int32
+	// OnTime/OffTime enable on-off mode when both are positive.
+	OnTime, OffTime sim.Time
+	// OffRateBps, when positive, keeps a low-rate trickle flowing during
+	// off phases — the strategic shape that harvests L-up feedback
+	// between bursts (used by the hysteresis ablation).
+	OffRateBps int64
+
+	host    *netsim.Host
+	eng     *sim.Engine
+	running bool
+	on      bool
+	ev      *sim.Event
+	sent    uint64
+}
+
+// NewUDPSource creates a constant-rate source; call Start to begin.
+func NewUDPSource(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rateBps int64, pktSize int32) *UDPSource {
+	return &UDPSource{
+		Dst: dst, Flow: flow, RateBps: rateBps, PktSize: pktSize,
+		host: host, eng: host.Network().Eng,
+	}
+}
+
+// Start begins transmission (in the on phase for on-off sources).
+func (u *UDPSource) Start() {
+	u.running = true
+	u.on = true
+	if u.OnTime > 0 && u.OffTime > 0 {
+		u.schedulePhaseFlip(u.OnTime)
+	}
+	u.sendNext()
+}
+
+// Stop halts the source.
+func (u *UDPSource) Stop() {
+	u.running = false
+	if u.ev != nil {
+		u.ev.Cancel()
+	}
+}
+
+// SentPackets returns the number of packets emitted.
+func (u *UDPSource) SentPackets() uint64 { return u.sent }
+
+func (u *UDPSource) schedulePhaseFlip(after sim.Time) {
+	u.eng.After(after, func() {
+		if !u.running {
+			return
+		}
+		u.on = !u.on
+		if u.on {
+			u.schedulePhaseFlip(u.OnTime)
+			u.sendNext()
+		} else {
+			u.schedulePhaseFlip(u.OffTime)
+			if u.ev != nil {
+				u.ev.Cancel()
+			}
+			if u.OffRateBps > 0 {
+				u.sendTrickle()
+			}
+		}
+	})
+}
+
+// sendTrickle emits at OffRateBps during off phases.
+func (u *UDPSource) sendTrickle() {
+	if !u.running || u.on {
+		return
+	}
+	u.emit()
+	u.ev = u.eng.After(sim.TxTime(int(u.PktSize), u.OffRateBps), u.sendTrickle)
+}
+
+func (u *UDPSource) sendNext() {
+	if !u.running || !u.on {
+		return
+	}
+	u.emit()
+	u.ev = u.eng.After(sim.TxTime(int(u.PktSize), u.RateBps), u.sendNext)
+}
+
+func (u *UDPSource) emit() {
+	p := &packet.Packet{
+		Dst:   u.Dst,
+		Flow:  u.Flow,
+		Kind:  packet.KindRegular,
+		Proto: packet.ProtoUDP,
+		Size:  u.PktSize,
+		// UDP payload: everything beyond the stacked headers.
+		Payload: u.PktSize - packet.SizeIPUDP - packet.SizeNetFenceMx - packet.SizePassport,
+	}
+	u.host.Send(p)
+	u.sent++
+}
+
+// UDPSink counts traffic delivered to a destination (attacker throughput
+// in the collusion experiments is measured here).
+type UDPSink struct {
+	Bytes   uint64
+	Packets uint64
+	// OnDeliver, when set, observes each delivery.
+	OnDeliver func(p *packet.Packet)
+}
+
+// NewUDPSink creates and registers a sink for flow on host.
+func NewUDPSink(host *netsim.Host, flow packet.FlowID) *UDPSink {
+	s := &UDPSink{}
+	host.Register(flow, s)
+	return s
+}
+
+// Receive tallies the packet.
+func (s *UDPSink) Receive(p *packet.Packet) {
+	s.Bytes += uint64(p.Size)
+	s.Packets++
+	if s.OnDeliver != nil {
+		s.OnDeliver(p)
+	}
+}
+
+// RequestFlooder emits request packets at a fixed priority level and
+// rate — the most effective unwanted-traffic attack against NetFence and
+// TVA+ (§6.3.1). The host shim may further adjust the packets; under
+// NetFence the access router's per-sender token bucket caps the admitted
+// rate at the chosen level.
+type RequestFlooder struct {
+	Dst     packet.NodeID
+	Flow    packet.FlowID
+	RateBps int64
+	Level   uint8
+
+	host    *netsim.Host
+	eng     *sim.Engine
+	running bool
+	sent    uint64
+}
+
+// NewRequestFlooder creates a flooder; call Start to begin.
+func NewRequestFlooder(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rateBps int64, level uint8) *RequestFlooder {
+	return &RequestFlooder{Dst: dst, Flow: flow, RateBps: rateBps, Level: level,
+		host: host, eng: host.Network().Eng}
+}
+
+// Start begins the flood.
+func (f *RequestFlooder) Start() {
+	f.running = true
+	f.sendNext()
+}
+
+// Stop halts the flood.
+func (f *RequestFlooder) Stop() { f.running = false }
+
+// SentPackets returns packets emitted.
+func (f *RequestFlooder) SentPackets() uint64 { return f.sent }
+
+func (f *RequestFlooder) sendNext() {
+	if !f.running {
+		return
+	}
+	p := &packet.Packet{
+		Dst:   f.Dst,
+		Flow:  f.Flow,
+		Kind:  packet.KindRequest,
+		Prio:  f.Level,
+		Proto: packet.ProtoTCP,
+		Size:  packet.SizeRequest,
+		TCP:   packet.TCPInfo{Flags: packet.FlagSYN},
+	}
+	f.host.Send(p)
+	f.sent++
+	f.eng.After(sim.TxTime(packet.SizeRequest, f.RateBps), f.sendNext)
+}

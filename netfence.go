@@ -1,0 +1,218 @@
+// Package netfence is a from-scratch reproduction of "NetFence:
+// Preventing Internet Denial of Service from Inside Out" (Liu, Yang, Xia
+// — SIGCOMM 2010): the secure congestion policing feedback primitive, the
+// closed-loop access/bottleneck router architecture built on it, the
+// paper's comparison baselines (TVA+, StopIt, per-sender fair queuing),
+// and a packet-level discrete-event simulator to run them on.
+//
+// This root package is the public facade: it re-exports the pieces a
+// downstream user needs to build topologies, deploy defense systems,
+// attach workloads and regenerate the paper's experiments. The examples/
+// directory shows complete programs; cmd/netfence-sim regenerates every
+// table and figure.
+//
+// A minimal session:
+//
+//	eng := netfence.NewEngine(42)
+//	d := netfence.NewDumbbell(eng, netfence.DefaultDumbbell(20, 8_000_000))
+//	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
+//	netfence.DeployDumbbell(d, sys, netfence.Policy{})
+//	... attach transports from the re-exported constructors ...
+//	eng.RunUntil(60 * netfence.Second)
+package netfence
+
+import (
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/exp"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// Simulation engine and time.
+type (
+	// Engine is the deterministic discrete-event scheduler.
+	Engine = sim.Engine
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// NewEngine returns a seeded simulation engine.
+func NewEngine(seed uint64) *Engine { return sim.New(seed) }
+
+// Network substrate.
+type (
+	// Network is a simulated internetwork.
+	Network = netsim.Network
+	// Node is a router or host.
+	Node = netsim.Node
+	// Host is the end-system stack on a host node.
+	Host = netsim.Host
+	// Agent is a transport endpoint attached to a host.
+	Agent = netsim.Agent
+	// Link is a unidirectional link.
+	Link = netsim.Link
+	// Packet is the simulated packet.
+	Packet = packet.Packet
+	// NodeID addresses a node.
+	NodeID = packet.NodeID
+	// FlowID identifies a transport connection.
+	FlowID = packet.FlowID
+)
+
+// NewNetwork returns an empty network driven by eng.
+func NewNetwork(eng *Engine) *Network { return netsim.New(eng) }
+
+// NetFence proper.
+type (
+	// Config holds every NetFence parameter (Figure 3 defaults).
+	Config = core.Config
+	// System is a NetFence deployment.
+	System = core.System
+	// Policy is a host's receiver-side classification of unwanted
+	// traffic.
+	Policy = defense.Policy
+	// DefenseSystem is the interface NetFence and all baselines satisfy.
+	DefenseSystem = defense.System
+)
+
+// DefaultConfig returns the paper's Figure 3 parameters.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem creates a NetFence deployment over net.
+func NewSystem(net *Network, cfg Config) *System { return core.NewSystem(net, cfg) }
+
+// Topologies.
+type (
+	// Dumbbell is the §6.3.1 evaluation topology.
+	Dumbbell = topo.Dumbbell
+	// DumbbellConfig parameterizes it.
+	DumbbellConfig = topo.DumbbellConfig
+	// ParkingLot is the multi-bottleneck topology.
+	ParkingLot = topo.ParkingLot
+	// ParkingLotConfig parameterizes it.
+	ParkingLotConfig = topo.ParkingLotConfig
+)
+
+// DefaultDumbbell mirrors the paper's dumbbell at a given population and
+// bottleneck capacity.
+func DefaultDumbbell(senders int, bottleneckBps int64) DumbbellConfig {
+	return topo.DefaultDumbbell(senders, bottleneckBps)
+}
+
+// NewDumbbell builds the topology.
+func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell { return topo.NewDumbbell(eng, cfg) }
+
+// DefaultParkingLot mirrors the paper's parking lot.
+func DefaultParkingLot(sendersPerGroup int, l1, l2 int64) ParkingLotConfig {
+	return topo.DefaultParkingLot(sendersPerGroup, l1, l2)
+}
+
+// NewParkingLot builds the topology.
+func NewParkingLot(eng *Engine, cfg ParkingLotConfig) *ParkingLot {
+	return topo.NewParkingLot(eng, cfg)
+}
+
+// DeployDumbbell installs a defense system across a dumbbell: bottleneck
+// protected, access routers policing, hosts shimmed; deny is the victim's
+// receiver policy.
+func DeployDumbbell(d *Dumbbell, s DefenseSystem, deny Policy) {
+	s.ProtectLink(d.Bottleneck)
+	for _, ra := range d.SrcAccess {
+		s.ProtectAccess(ra)
+	}
+	s.ProtectAccess(d.VictimAccess)
+	for _, rc := range d.ColluderAccess {
+		s.ProtectAccess(rc)
+	}
+	for _, h := range d.Senders {
+		s.AttachHost(h, Policy{})
+	}
+	s.AttachHost(d.Victim, deny)
+	for _, c := range d.Colluders {
+		s.AttachHost(c, Policy{})
+	}
+}
+
+// Transports and workloads.
+type (
+	// TCPSender is a TCP Reno sender.
+	TCPSender = transport.TCPSender
+	// TCPReceiver is its passive peer.
+	TCPReceiver = transport.TCPReceiver
+	// TCPConfig tunes TCP.
+	TCPConfig = transport.TCPConfig
+	// UDPSource is a constant-rate or on-off UDP source.
+	UDPSource = transport.UDPSource
+	// UDPSink counts delivered traffic.
+	UDPSink = transport.UDPSink
+	// FileClient repeats fixed-size transfers over fresh connections.
+	FileClient = transport.FileClient
+	// WebSource issues web-like transfers.
+	WebSource = transport.WebSource
+	// RequestFlooder is the request-channel attack source.
+	RequestFlooder = transport.RequestFlooder
+)
+
+// DefaultTCP returns the evaluation TCP configuration.
+func DefaultTCP() TCPConfig { return transport.DefaultTCP() }
+
+// NewTCPSender, NewTCPReceiver, NewUDPSource, NewUDPSink, NewFileClient,
+// NewWebSource and NewRequestFlooder mirror the internal constructors.
+var (
+	NewTCPSender      = transport.NewTCPSender
+	NewTCPReceiver    = transport.NewTCPReceiver
+	NewUDPSource      = transport.NewUDPSource
+	NewUDPSink        = transport.NewUDPSink
+	NewFileClient     = transport.NewFileClient
+	NewWebSource      = transport.NewWebSource
+	NewRequestFlooder = transport.NewRequestFlooder
+)
+
+// Metrics.
+type (
+	// FCT records transfer completion times.
+	FCT = metrics.FCT
+)
+
+// Jain computes Jain's fairness index.
+func Jain(xs []float64) float64 { return metrics.Jain(xs) }
+
+// RunExperiment regenerates one of the paper's tables/figures by name
+// (fig7, fig8, fig9a, fig9b, fig10, fig11, fig13, fig14, theorem,
+// localize, header, ablate-hysteresis, ablate-initrate) at the given
+// scale (tiny, small, paper) and returns the rendered table.
+func RunExperiment(name, scale string) (string, error) {
+	sc, err := exp.ScaleByName(scale)
+	if err != nil {
+		return "", err
+	}
+	r, err := exp.RunnerByName(name)
+	if err != nil {
+		return "", err
+	}
+	res := r.Run(sc)
+	return res.Table(), nil
+}
+
+// Experiments lists the available experiment names with descriptions.
+func Experiments() map[string]string {
+	out := map[string]string{}
+	for _, r := range exp.Runners() {
+		out[r.Name] = r.Brief
+	}
+	return out
+}
