@@ -1,11 +1,23 @@
 // Command netfence-sim regenerates the tables and figures of the
-// NetFence paper's evaluation (§6) on the packet-level simulator.
+// NetFence paper's evaluation (§6) on the packet-level simulator, and
+// runs declarative scenario sweeps across every registered defense.
 //
-// Usage:
+// Figures:
 //
 //	netfence-sim -list
 //	netfence-sim -exp fig9a -scale small
+//	netfence-sim -exp fig8 -scale tiny -defense netfence,tva
 //	netfence-sim -all -scale tiny
+//
+// Any comparison figure can be restricted to a subset of the registered
+// defense systems with -defense (see -list-defenses).
+//
+// Scenario-matrix mode fans the paper's collusion scenario over a
+// defenses × populations × seeds matrix, in parallel, one engine per
+// cell, and prints a unified result table:
+//
+//	netfence-sim -sweep -defense netfence,tva,stopit,fq -seeds 1,2,3
+//	netfence-sim -sweep -senders 20,40 -bottleneck 4000000 -duration 240
 //
 // Scales: tiny (seconds of wall time, CI), small (default, minutes),
 // paper (the full 1000-sender, 4000-simulated-second configuration —
@@ -16,17 +28,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"netfence"
+	"netfence/internal/defense"
 	"netfence/internal/exp"
 )
 
 func main() {
 	var (
-		expName = flag.String("exp", "", "experiment to run (see -list)")
-		scale   = flag.String("scale", "small", "tiny | small | paper")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments")
+		expName  = flag.String("exp", "", "experiment to run (see -list)")
+		scale    = flag.String("scale", "small", "tiny | small | paper")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		listDef  = flag.Bool("list-defenses", false, "list registered defense systems")
+		defenses = flag.String("defense", "", "comma-separated defense systems (default: the paper's lineup)")
+
+		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
+		seeds      = flag.String("seeds", "1", "sweep: comma-separated RNG seeds")
+		senders    = flag.String("senders", "20", "sweep: comma-separated sender populations")
+		bottleneck = flag.Int64("bottleneck", 4_000_000, "sweep: bottleneck capacity (bps)")
+		duration   = flag.Int("duration", 240, "sweep: simulated seconds per cell")
+		parallel   = flag.Int("parallelism", 0, "sweep: concurrent cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,12 +61,28 @@ func main() {
 		}
 		return
 	}
+	if *listDef {
+		for _, name := range netfence.Defenses() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	defenseList, err := parseDefenses(*defenses)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sweep {
+		runSweep(defenseList, *seeds, *senders, *bottleneck, *duration, *parallel)
+		return
+	}
 
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
+	sc.Systems = defenseList
 
 	var runners []exp.Runner
 	switch {
@@ -50,8 +91,7 @@ func main() {
 	case *expName != "":
 		r, err := exp.RunnerByName(*expName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		runners = []exp.Runner{r}
 	default:
@@ -60,9 +100,125 @@ func main() {
 	}
 
 	for _, r := range runners {
+		if len(defenseList) > 0 && !r.Compares {
+			fmt.Fprintf(os.Stderr, "warning: %s is a NetFence-only study; -defense ignored\n", r.Name)
+		}
 		start := time.Now()
 		res := r.Run(sc)
 		fmt.Println(res.Table())
 		fmt.Printf("(%s, scale=%s, %.1fs wall)\n\n", r.Name, sc.Name, time.Since(start).Seconds())
 	}
+}
+
+// runSweep fans the paper's collusion scenario (25% long-TCP users, 75%
+// colluder pairs) over defenses × populations × seeds.
+func runSweep(defenseList []string, seedsCSV, sendersCSV string, bottleneck int64, durationSec, parallelism int) {
+	seedList, err := parseUints(seedsCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-seeds: %w", err))
+	}
+	popList, err := parseInts(sendersCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-senders: %w", err))
+	}
+	if len(defenseList) == 0 {
+		defenseList = []string{"netfence", "tva", "stopit", "fq"}
+	}
+
+	sw := netfence.Sweep{
+		Base: netfence.Scenario{Name: "collusion"},
+		// The role split depends on the population, so each population
+		// cell rebuilds the scenario through BaseFor.
+		BaseFor: func(pop int) netfence.Scenario {
+			users := pop / 4
+			if users == 0 {
+				users = 1
+			}
+			return netfence.Scenario{
+				Topology: netfence.DumbbellSpec{Senders: pop, BottleneckBps: bottleneck, ColluderASes: 9},
+				Workloads: []netfence.Workload{
+					netfence.LongTCP{Senders: netfence.Range(0, users)},
+					netfence.ColluderPairs{Senders: netfence.Range(users, pop), RateBps: 1_000_000},
+				},
+				Duration: netfence.Time(durationSec) * netfence.Second,
+			}
+		},
+		Defenses:    defenseList,
+		Populations: popList,
+		Seeds:       seedList,
+		Parallelism: parallelism,
+	}
+
+	start := time.Now()
+	results, err := sw.Run()
+	// A failing cell must not throw away the completed cells' work:
+	// print what finished, then the error.
+	completed := 0
+	for _, r := range results {
+		if r != nil {
+			completed++
+		}
+	}
+	if completed > 0 {
+		fmt.Print(netfence.FormatResults(results))
+		fmt.Printf("\n(%d/%d cells, %.1fs wall)\n", completed, len(results), time.Since(start).Seconds())
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// parseDefenses validates a comma-separated defense list against the
+// registry.
+func parseDefenses(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	registered := map[string]bool{}
+	for _, n := range netfence.Defenses() {
+		registered[n] = true
+	}
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue
+		}
+		canonical := defense.Canonical(name)
+		if !registered[canonical] {
+			return nil, fmt.Errorf("unknown defense %q (registered: %s)",
+				name, strings.Join(netfence.Defenses(), ", "))
+		}
+		out = append(out, canonical)
+	}
+	return out, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseUints(csv string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }

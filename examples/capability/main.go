@@ -4,52 +4,43 @@
 // (§3.3). The attackers are then confined to the strictly-policed request
 // channel while a legitimate client's 20 KB transfers keep completing,
 // paying only the ~1 s priority-backoff penalty on connection setup.
+//
+// DenyAttackers gives the victim the paper's receiver policy — every
+// sender carrying an attack workload aimed at it is denied.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"netfence"
 )
 
 func main() {
-	eng := netfence.NewEngine(7)
-	cfg := netfence.DefaultDumbbell(10, 2_000_000)
-	d := netfence.NewDumbbell(eng, cfg)
-
-	// Sender 0 is the legitimate client; the other nine flood.
-	attackers := map[netfence.NodeID]bool{}
-	for _, h := range d.Senders[1:] {
-		attackers[h.ID] = true
+	res, err := netfence.Scenario{
+		Name:          "capability",
+		Seed:          7,
+		Topology:      netfence.DumbbellSpec{Senders: 10, BottleneckBps: 2_000_000},
+		Defense:       netfence.Defense("netfence"),
+		DenyAttackers: true,
+		Workloads: []netfence.Workload{
+			// Sender 0 is the legitimate client, repeatedly transferring
+			// a 20 KB file; the other nine flood request packets at
+			// priority level 5 (high enough to saturate the 5% request
+			// channel of a 2 Mbps link).
+			netfence.FileTransfers{Senders: []int{0}, FileBytes: 20_000},
+			netfence.RequestFlood{Senders: netfence.Range(1, 10), RateBps: 1_000_000, Level: 5},
+		},
+		Duration: 60 * netfence.Second,
+		Warmup:   10 * netfence.Second,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
-	netfence.DeployDumbbell(d, sys, netfence.Policy{
-		Deny: func(src netfence.NodeID) bool { return attackers[src] },
-	})
-	d.Victim.Host.OnUnknownFlow = func(p *netfence.Packet) netfence.Agent {
-		return netfence.NewTCPReceiver(d.Victim.Host, p.Flow)
-	}
-
-	// Attackers flood request packets at priority level 5 (high enough
-	// to saturate the 5% request channel of a 2 Mbps link).
-	for i, a := range d.Senders[1:] {
-		netfence.NewRequestFlooder(a.Host, d.Victim.ID, netfence.FlowID(100+i), 1_000_000, 5).Start()
-	}
-
-	// The client repeatedly transfers a 20 KB file over new connections.
-	var fct netfence.FCT
-	client := netfence.NewFileClient(d.Senders[0].Host, d.Victim.ID, 20_000, netfence.DefaultTCP())
-	client.OnResult = func(d netfence.Time, ok bool) { fct.Add(d, ok) }
-	client.Start()
-
-	eng.RunUntil(60 * netfence.Second)
-	client.Stop()
 
 	fmt.Printf("transfers completed: %d (completion ratio %.0f%%)\n",
-		fct.Count(), 100*fct.CompletionRatio())
-	fmt.Printf("mean FCT: %.2fs   p95: %.2fs\n",
-		fct.Mean().Seconds(), fct.Percentile(95).Seconds())
+		res.FCT.Count, 100*res.FCT.Completion)
+	fmt.Printf("mean FCT: %.2fs   p95: %.2fs\n", res.FCT.MeanSec, res.FCT.P95Sec)
 	fmt.Printf("victim accepted zero attacker connections; the flood is pinned\n")
 	fmt.Printf("inside the request channel's 5%% capacity share.\n")
 }

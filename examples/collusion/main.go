@@ -5,85 +5,63 @@
 // per-(sender, bottleneck) AIMD rate limiters give every sender —
 // legitimate or malicious — the same fair share, with no per-host state
 // at the bottleneck router.
+//
+// The scenario is declarative; Build (instead of Run) keeps a handle on
+// the underlying topology and defense system for the final state-size
+// introspection.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"netfence"
 )
 
 func main() {
-	eng := netfence.NewEngine(9)
 	const (
 		senders    = 20
 		bottleneck = 4_000_000 // 200 kbps fair share each
 	)
-	cfg := netfence.DefaultDumbbell(senders, bottleneck)
-	cfg.ColluderASes = 9
-	d := netfence.NewDumbbell(eng, cfg)
-	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
-	netfence.DeployDumbbell(d, sys, netfence.Policy{})
+	// Roles: a quarter of the senders are users (the paper uses a 25/75
+	// split at 1000 senders; internal/exp reproduces that).
+	users := netfence.Range(0, senders/4)
+	attackers := netfence.Range(senders/4, senders)
 
-	// Roles: the first of each AS's two hosts is a user (the paper uses
-	// a 25/75 split at 1000 senders; internal/exp reproduces that).
-	var receivers []*netfence.TCPReceiver
-	var sinks []*netfence.UDPSink
-	for i, h := range d.Senders {
-		if i%cfg.HostsPerAS < (cfg.HostsPerAS+3)/4 {
-			flow := netfence.FlowID(1 + i)
-			receivers = append(receivers, netfence.NewTCPReceiver(d.Victim.Host, flow))
-			netfence.NewTCPSender(h.Host, d.Victim.ID, flow, -1, netfence.DefaultTCP()).Start()
-		} else {
-			col := d.Colluders[i%len(d.Colluders)]
-			flow := netfence.FlowID(1000 + i)
-			sinks = append(sinks, netfence.NewUDPSink(col.Host, flow))
-			netfence.NewUDPSource(h.Host, col.ID, flow, 1_000_000, 1500).Start()
-		}
+	in, err := netfence.Scenario{
+		Name:     "collusion",
+		Seed:     9,
+		Topology: netfence.DumbbellSpec{Senders: senders, BottleneckBps: bottleneck, ColluderASes: 9},
+		Defense:  netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: users},
+			netfence.ColluderPairs{Senders: attackers, RateBps: 1_000_000},
+		},
+		Duration: 240 * netfence.Second,
+		Warmup:   120 * netfence.Second,
+	}.Build()
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	// Let AIMD converge, then measure a two-minute window.
-	warm, end := 120*netfence.Second, 240*netfence.Second
-	eng.RunUntil(warm)
-	userMark := make([]int64, len(receivers))
-	for i, r := range receivers {
-		userMark[i] = r.DeliveredBytes()
-	}
-	atkMark := make([]uint64, len(sinks))
-	for i, s := range sinks {
-		atkMark[i] = s.Bytes
-	}
-	eng.RunUntil(end)
-
-	window := (end - warm).Seconds()
-	var userRates []float64
-	var userSum float64
-	for i, r := range receivers {
-		rate := float64(r.DeliveredBytes()-userMark[i]) * 8 / window
-		userRates = append(userRates, rate)
-		userSum += rate
-	}
-	var atkSum float64
-	for i, s := range sinks {
-		atkSum += float64(s.Bytes-atkMark[i]) * 8 / window
-	}
-	userAvg := userSum / float64(len(receivers))
-	atkAvg := atkSum / float64(len(sinks))
+	res := in.Run()
 
 	fmt.Printf("senders: %d (%d users, %d attackers), fair share %.0f kbps\n",
-		senders, len(receivers), len(sinks), float64(bottleneck)/senders/1000)
-	fmt.Printf("avg user throughput:     %8.0f kbps\n", userAvg/1000)
-	fmt.Printf("avg attacker throughput: %8.0f kbps\n", atkAvg/1000)
-	fmt.Printf("throughput ratio:        %8.2f   (paper: ~1)\n", userAvg/atkAvg)
-	fmt.Printf("Jain index among users:  %8.2f   (paper: ~1)\n", netfence.Jain(userRates))
+		senders, len(users), len(attackers), float64(bottleneck)/senders/1000)
+	fmt.Printf("avg user throughput:     %8.0f kbps\n", res.UserBps/1000)
+	fmt.Printf("avg attacker throughput: %8.0f kbps\n", res.AttackerBps/1000)
+	fmt.Printf("throughput ratio:        %8.2f   (paper: ~1)\n", res.Ratio)
+	fmt.Printf("Jain index among users:  %8.2f   (paper: ~1)\n", res.Jain)
 
 	// The scalability point: the bottleneck keeps no per-sender state;
-	// each access router holds only its own senders' limiters.
-	total := 0
-	for _, ra := range d.SrcAccess {
-		if ar := sys.Access(ra); ar != nil {
-			total += ar.LimiterCount()
+	// each access router holds only its own senders' limiters. Instance
+	// exposes the deployed system and topology for this introspection.
+	if sys, ok := in.System.(*netfence.System); ok {
+		total := 0
+		for _, ra := range in.Dumbbell.SrcAccess {
+			if ar := sys.Access(ra); ar != nil {
+				total += ar.LimiterCount()
+			}
 		}
+		fmt.Printf("rate limiters across access routers: %d (bottleneck router: none)\n", total)
 	}
-	fmt.Printf("rate limiters across access routers: %d (bottleneck router: none)\n", total)
 }

@@ -6,62 +6,56 @@
 // traffic irrelevant: users keep at least the fair share they would get
 // if the attackers were always on, and reclaim bandwidth as the off
 // period grows.
+//
+// Each off-period is one declarative Scenario; RunAll drives them all
+// concurrently, one engine per scenario.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"netfence"
 )
 
-func run(toff netfence.Time) float64 {
-	eng := netfence.NewEngine(11)
-	cfg := netfence.DefaultDumbbell(8, 800_000) // 100 kbps fair share
-	cfg.ColluderASes = 2
-	d := netfence.NewDumbbell(eng, cfg)
-	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
-	netfence.DeployDumbbell(d, sys, netfence.Policy{})
-
-	// 2 users, 6 synchronized on-off attackers.
-	var receivers []*netfence.TCPReceiver
-	for i := 0; i < 2; i++ {
-		flow := netfence.FlowID(1 + i)
-		receivers = append(receivers, netfence.NewTCPReceiver(d.Victim.Host, flow))
-		netfence.NewTCPSender(d.Senders[i].Host, d.Victim.ID, flow, -1, netfence.DefaultTCP()).Start()
+func scenario(toff netfence.Time) netfence.Scenario {
+	return netfence.Scenario{
+		Name:     fmt.Sprintf("onoff/toff=%.1fs", toff.Seconds()),
+		Seed:     11,
+		Topology: netfence.DumbbellSpec{Senders: 8, BottleneckBps: 800_000, ColluderASes: 2}, // 100 kbps fair share
+		Defense:  netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			// 2 users, 6 synchronized on-off attackers.
+			netfence.LongTCP{Senders: netfence.Range(0, 2)},
+			netfence.OnOffFlood{
+				Senders: netfence.Range(2, 8), RateBps: 1_000_000, PktSize: 1500,
+				On: 500 * netfence.Millisecond, Off: toff, ToColluders: true,
+			},
+		},
+		Duration: 210 * netfence.Second,
+		Warmup:   90 * netfence.Second,
 	}
-	for i := 2; i < 8; i++ {
-		col := d.Colluders[i%2]
-		flow := netfence.FlowID(100 + i)
-		netfence.NewUDPSink(col.Host, flow)
-		u := netfence.NewUDPSource(d.Senders[i].Host, col.ID, flow, 1_000_000, 1500)
-		u.OnTime = 500 * netfence.Millisecond
-		u.OffTime = toff
-		u.Start()
-	}
-
-	warm, end := 90*netfence.Second, 210*netfence.Second
-	eng.RunUntil(warm)
-	marks := make([]int64, len(receivers))
-	for i, r := range receivers {
-		marks[i] = r.DeliveredBytes()
-	}
-	eng.RunUntil(end)
-	var sum float64
-	for i, r := range receivers {
-		sum += float64(r.DeliveredBytes()-marks[i]) * 8 / (end - warm).Seconds()
-	}
-	return sum / float64(len(receivers))
 }
 
 func main() {
-	fmt.Println("Ton = 0.5s, synchronized bursts; fair share (attackers always on) = 100 kbps")
-	fmt.Println("Toff(s)  avg user throughput (kbps)")
-	for _, toff := range []netfence.Time{
+	toffs := []netfence.Time{
 		1500 * netfence.Millisecond,
 		10 * netfence.Second,
 		50 * netfence.Second,
-	} {
-		fmt.Printf("%6.1f  %10.0f\n", toff.Seconds(), run(toff)/1000)
+	}
+	var scs []netfence.Scenario
+	for _, toff := range toffs {
+		scs = append(scs, scenario(toff))
+	}
+	results, err := netfence.RunAll(scs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Ton = 0.5s, synchronized bursts; fair share (attackers always on) = 100 kbps")
+	fmt.Println("Toff(s)  avg user throughput (kbps)")
+	for i, res := range results {
+		fmt.Printf("%6.1f  %10.0f\n", toffs[i].Seconds(), res.UserBps/1000)
 	}
 	fmt.Println("\nno burst shape depresses users below the always-on fair share;")
 	fmt.Println("longer silences hand the bandwidth back to TCP (paper Figure 11).")

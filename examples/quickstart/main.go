@@ -3,50 +3,48 @@
 // 1 Mbps; NetFence detects the attack, opens a monitoring cycle, and the
 // access routers' AIMD rate limiters converge both senders to their
 // 200 kbps fair share — the paper's headline guarantee.
+//
+// The whole experiment is one declarative Scenario: topology, defense
+// (resolved by name from the registry — swap "netfence" for "tva",
+// "stopit", "fq" or "none" to compare), workloads and probes.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"netfence"
 )
 
 func main() {
-	eng := netfence.NewEngine(42)
-
-	// The paper's dumbbell: 2 senders in their own ASes, a transit-AS
-	// bottleneck, a victim AS, and one colluder AS.
-	cfg := netfence.DefaultDumbbell(2, 400_000)
-	cfg.ColluderASes = 1
-	d := netfence.NewDumbbell(eng, cfg)
-
-	// Deploy NetFence with Figure 3 parameters.
-	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
-	netfence.DeployDumbbell(d, sys, netfence.Policy{})
-
-	// A legitimate long-running TCP flow to the victim...
-	rcv := netfence.NewTCPReceiver(d.Victim.Host, 1)
-	netfence.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, netfence.DefaultTCP()).Start()
-
-	// ...and a colluding pair: attacker floods 1 Mbps of UDP at a
-	// receiver that happily returns congestion policing feedback.
-	sink := netfence.NewUDPSink(d.Colluders[0].Host, 2)
-	netfence.NewUDPSource(d.Senders[1].Host, d.Colluders[0].ID, 2, 1_000_000, 1500).Start()
-
-	fmt.Println("t(s)  mon  legit(kbps)  attacker(kbps)")
-	var prevLegit, prevAtk int64
-	for t := netfence.Time(0); t < 180*netfence.Second; t += 20 * netfence.Second {
-		eng.RunUntil(t + 20*netfence.Second)
-		legit := rcv.DeliveredBytes()
-		atk := int64(sink.Bytes)
-		fmt.Printf("%4.0f  %-5v %8.0f %12.0f\n",
-			(t + 20*netfence.Second).Seconds(),
-			sys.Bottleneck(d.Bottleneck).Monitoring(),
-			float64(legit-prevLegit)*8/20/1000,
-			float64(atk-prevAtk)*8/20/1000)
-		prevLegit, prevAtk = legit, atk
+	sc := netfence.Scenario{
+		Name:     "quickstart",
+		Seed:     42,
+		Topology: netfence.DumbbellSpec{Senders: 2, BottleneckBps: 400_000, ColluderASes: 1},
+		Defense:  netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: []int{0}},
+			netfence.ColluderPairs{Senders: []int{1}, RateBps: 1_000_000},
+		},
+		Probes: []netfence.Probe{
+			netfence.GoodputProbe{}, netfence.TimeseriesProbe{Interval: 20 * netfence.Second},
+		},
+		Duration: 180 * netfence.Second,
+		Warmup:   60 * netfence.Second,
 	}
 
-	fmt.Printf("\nfair share is 200 kbps per sender; the attacker cannot hold more,\n")
+	res, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("t(s)  mon  legit(kbps)  attacker(kbps)")
+	for _, s := range res.Series {
+		fmt.Printf("%4.0f  %-5v %8.0f %12.0f\n",
+			s.TimeSec, s.Monitoring, s.UserBps/1000, s.AttackerBps/1000)
+	}
+	fmt.Printf("\npost-warmup means: legit %.0f kbps, attacker %.0f kbps (ratio %.2f)\n",
+		res.UserBps/1000, res.AttackerBps/1000, res.Ratio)
+	fmt.Printf("fair share is 200 kbps per sender; the attacker cannot hold more,\n")
 	fmt.Printf("and the legitimate TCP keeps its share despite the 1 Mbps flood.\n")
 }

@@ -1,0 +1,3 @@
+module netfence
+
+go 1.22

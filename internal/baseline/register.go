@@ -1,0 +1,26 @@
+package baseline
+
+import (
+	"fmt"
+
+	"netfence/internal/defense"
+	"netfence/internal/netsim"
+)
+
+// The baselines self-register in the defense registry. None of them take
+// a configuration value; a non-nil BuildOptions.Config is rejected so a
+// misdirected NetFence config cannot be silently ignored.
+func init() {
+	register := func(name string, build func(net *netsim.Network) defense.System) {
+		defense.Register(name, func(net *netsim.Network, opts defense.BuildOptions) (defense.System, error) {
+			if opts.Config != nil {
+				return nil, fmt.Errorf("%s: system takes no configuration, got %T", name, opts.Config)
+			}
+			return build(net), nil
+		})
+	}
+	register("tva", func(*netsim.Network) defense.System { return NewTVA() })
+	register("stopit", func(net *netsim.Network) defense.System { return NewStopIt(net) })
+	register("fq", func(*netsim.Network) defense.System { return NewFQ() })
+	register("none", func(*netsim.Network) defense.System { return NewNone() })
+}

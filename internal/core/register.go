@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+
+	"netfence/internal/defense"
+	"netfence/internal/netsim"
+)
+
+// NetFence self-registers in the defense registry so scenario and sweep
+// code can resolve it by name. The optional BuildOptions.Config must be a
+// core.Config.
+func init() {
+	defense.Register("netfence", func(net *netsim.Network, opts defense.BuildOptions) (defense.System, error) {
+		cfg := DefaultConfig()
+		if opts.Config != nil {
+			c, ok := opts.Config.(Config)
+			if !ok {
+				return nil, fmt.Errorf("netfence: config must be core.Config, got %T", opts.Config)
+			}
+			cfg = c
+		}
+		return NewSystem(net, cfg), nil
+	})
+}

@@ -1,0 +1,23 @@
+package core
+
+import "netfence/internal/packet"
+
+// StrategicRequestLevel computes the attack strategy of §6.3.1: the
+// highest priority level at which the aggregate admitted attack traffic
+// still saturates the request channel. attackers is the flood population,
+// bottleneckBps the link capacity.
+func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg Config) uint8 {
+	channel := cfg.RequestCapFrac * float64(bottleneckBps)
+	level := uint8(1)
+	for level < cfg.MaxPrioLevel {
+		next := level + 1
+		// Admitted per-sender packet rate at a level halves per step.
+		perSender := cfg.TokenRatePerSec / float64(uint64(1)<<(next-1))
+		aggregate := float64(attackers) * perSender * packet.SizeRequest * 8
+		if aggregate < channel {
+			break
+		}
+		level = next
+	}
+	return level
+}

@@ -1,0 +1,80 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"netfence/internal/netsim"
+)
+
+// BuildOptions carries optional construction parameters to a Builder.
+type BuildOptions struct {
+	// Config is a system-specific configuration value whose concrete
+	// type is defined by the registered builder (core.Config for
+	// "netfence"). nil selects the system's defaults. Builders must
+	// reject configuration types they do not understand.
+	Config any
+}
+
+// Builder constructs a defense system over a network.
+type Builder func(net *netsim.Network, opts BuildOptions) (System, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Canonical normalizes a registry name: whitespace trimmed, lower-cased,
+// trailing "+" stripped — so "TVA+", "tva" and "NetFence" all resolve to
+// their registered systems.
+func Canonical(name string) string {
+	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(name)), "+")
+}
+
+// Register makes a defense system constructible by name through Build.
+// The in-tree systems self-register from init functions ("netfence" in
+// internal/core; "tva", "stopit", "fq" and "none" in internal/baseline);
+// third-party systems may register under any unclaimed name. Register
+// panics on an empty name, a nil builder, or a duplicate registration —
+// all programmer errors.
+func Register(name string, b Builder) {
+	key := Canonical(name)
+	if key == "" {
+		panic("defense: Register with empty name")
+	}
+	if b == nil {
+		panic(fmt.Sprintf("defense: Register(%q) with nil builder", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("defense: Register(%q) called twice", key))
+	}
+	registry[key] = b
+}
+
+// Build resolves name in the registry and constructs the system over net.
+func Build(name string, net *netsim.Network, opts BuildOptions) (System, error) {
+	regMu.RLock()
+	b := registry[Canonical(name)]
+	regMu.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("defense: unknown system %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b(net, opts)
+}
+
+// Names returns the sorted canonical names of every registered system.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

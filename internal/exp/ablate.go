@@ -47,7 +47,7 @@ func ablateHystCell(sc Scale, hysteresis int) (atkBps, userBps, fairBps float64)
 	nfCfg := core.DefaultConfig()
 	nfCfg.HysteresisIntervals = hysteresis
 	s := core.NewSystem(d.Net, nfCfg)
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
 	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
@@ -103,7 +103,7 @@ func ablateBucketCell(sc Scale, token bool) (userBps, atkBps float64, drops uint
 	nfCfg := core.DefaultConfig()
 	nfCfg.TokenBucketLimiter = token
 	s := core.NewSystem(d.Net, nfCfg)
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
 	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()
@@ -174,7 +174,7 @@ func ablateQuotaCell(sc Scale, quota int64) (userFCT sim.Time, atkBps float64, q
 	nfCfg := core.DefaultConfig()
 	nfCfg.CongestionQuotaBytes = quota
 	s := core.NewSystem(d.Net, nfCfg)
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 	d.Victim.Host.OnUnknownFlow = func(p *packet.Packet) netsim.Agent {
 		if p.Proto != packet.ProtoTCP {
 			return nil
@@ -238,7 +238,7 @@ func ablateInitCell(sc Scale, initBps int64) (userBps, atkBps float64) {
 	nfCfg := core.DefaultConfig()
 	nfCfg.InitialRateBps = initBps
 	s := core.NewSystem(d.Net, nfCfg)
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
 	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"strings"
 
+	// The baselines register themselves in the defense registry; exp
+	// resolves them by name, so link them in explicitly.
+	_ "netfence/internal/baseline"
 	"netfence/internal/core"
 	"netfence/internal/defense"
 	"netfence/internal/netsim"
 	"netfence/internal/sim"
-	"netfence/internal/topo"
 )
 
 // Scale fixes an experiment family's population and durations.
@@ -38,6 +40,10 @@ type Scale struct {
 	PLGroup int
 	// Seed feeds the deterministic RNG.
 	Seed uint64
+	// Systems, when non-empty, restricts the comparison figures to the
+	// named defense systems (defense-registry names); empty keeps the
+	// paper's full lineup.
+	Systems []string
 }
 
 // The three standard scales.
@@ -158,90 +164,83 @@ const (
 // ComparedSystems is the lineup of Figures 8 and 9.
 var ComparedSystems = []SystemKind{SysFQ, SysNetFence, SysTVA, SysStopIt}
 
-// buildSystem instantiates a system over a network. nfCfg customizes
-// NetFence; other systems use their defaults.
+// Compared returns the systems a comparison figure sweeps: the paper's
+// lineup by default, or the Scale.Systems restriction when set.
+func (sc Scale) Compared() []SystemKind {
+	if len(sc.Systems) == 0 {
+		return ComparedSystems
+	}
+	out := make([]SystemKind, len(sc.Systems))
+	for i, name := range sc.Systems {
+		out[i] = KindByName(name)
+	}
+	return out
+}
+
+// KindByName maps a defense-registry name to the display kind used in
+// result tables; unrecognized names pass through unchanged so runners can
+// compare third-party registered systems too.
+func KindByName(name string) SystemKind {
+	switch defense.Canonical(name) {
+	case "netfence":
+		return SysNetFence
+	case "tva":
+		return SysTVA
+	case "stopit":
+		return SysStopIt
+	case "fq":
+		return SysFQ
+	case "none":
+		return SysNone
+	}
+	return SystemKind(name)
+}
+
+// buildSystem instantiates a system over a network through the defense
+// registry. nfCfg customizes NetFence; other systems use their defaults.
 func buildSystem(kind SystemKind, net *netsim.Network, nfCfg core.Config) defense.System {
-	switch kind {
-	case SysNetFence:
-		return core.NewSystem(net, nfCfg)
-	case SysTVA:
-		return newTVA()
-	case SysStopIt:
-		return newStopIt(net)
-	case SysFQ:
-		return newFQ()
-	default:
-		return newNone()
+	var opts defense.BuildOptions
+	if defense.Canonical(string(kind)) == "netfence" {
+		opts.Config = nfCfg
 	}
-}
-
-// deployDumbbell installs a system across a dumbbell: the bottleneck link
-// is protected, every access router polices, and every host gets the
-// system's shim. deny is the victim's receiver policy.
-func deployDumbbell(d *topo.Dumbbell, s defense.System, deny defense.Policy) {
-	s.ProtectLink(d.Bottleneck)
-	for _, ra := range d.SrcAccess {
-		s.ProtectAccess(ra)
+	s, err := defense.Build(string(kind), net, opts)
+	if err != nil {
+		// Runners take validated kinds; an unknown name here is a
+		// programmer error, not a runtime condition.
+		panic(err)
 	}
-	s.ProtectAccess(d.VictimAccess)
-	for _, rc := range d.ColluderAccess {
-		s.ProtectAccess(rc)
-	}
-	for _, h := range d.Senders {
-		s.AttachHost(h, defense.Policy{})
-	}
-	s.AttachHost(d.Victim, deny)
-	for _, c := range d.Colluders {
-		s.AttachHost(c, defense.Policy{})
-	}
-}
-
-// deployParkingLot installs a system across a parking lot, protecting
-// both bottlenecks.
-func deployParkingLot(pl *topo.ParkingLot, s defense.System) {
-	s.ProtectLink(pl.L1)
-	s.ProtectLink(pl.L2)
-	for g := range pl.Groups {
-		grp := &pl.Groups[g]
-		for _, ra := range grp.Access {
-			s.ProtectAccess(ra)
-		}
-		for _, h := range grp.Senders {
-			s.AttachHost(h, defense.Policy{})
-		}
-		s.AttachHost(grp.Victim, defense.Policy{})
-		for _, c := range grp.Colluders {
-			s.AttachHost(c, defense.Policy{})
-		}
-	}
+	return s
 }
 
 // Runner is a named experiment: it maps a CLI/bench identifier to the
-// function regenerating one table or figure.
+// function regenerating one table or figure. Compares marks experiments
+// that sweep the compared defense lineup (and therefore honor
+// Scale.Systems); the rest are NetFence-only studies.
 type Runner struct {
-	Name  string
-	Brief string
-	Run   func(sc Scale) Result
+	Name     string
+	Brief    string
+	Run      func(sc Scale) Result
+	Compares bool
 }
 
 // Runners lists every experiment, in paper order.
 func Runners() []Runner {
 	return []Runner{
-		{"fig7", "per-packet processing overhead (Linux prototype table)", Fig7},
-		{"fig8", "unwanted-traffic flooding: mean 20KB transfer time", Fig8},
-		{"fig9a", "colluding attacks, long-running TCP: throughput ratio", func(sc Scale) Result { return Fig9(sc, false) }},
-		{"fig9b", "colluding attacks, web-like traffic: throughput ratio", func(sc Scale) Result { return Fig9(sc, true) }},
-		{"fig10", "multi-bottleneck parking lot, core design", func(sc Scale) Result { return Fig10(sc, ModeCore) }},
-		{"fig11", "microscopic on-off attacks: user throughput", Fig11},
-		{"fig13", "parking lot with multi-bottleneck feedback (App. B.1)", func(sc Scale) Result { return Fig10(sc, ModeMultiFB) }},
-		{"fig14", "parking lot with rate-limiter inference (App. B.2)", func(sc Scale) Result { return Fig10(sc, ModeInfer) }},
-		{"theorem", "fair-share lower bound of §3.4/Appendix A", Theorem},
-		{"localize", "compromised-AS damage localization (§4.5)", Localize},
-		{"header", "NetFence header sizes (§6.1)", HeaderSizes},
-		{"ablate-hysteresis", "L-down hysteresis ablation (footnote 1)", AblateHysteresis},
-		{"ablate-initrate", "initial rate-limit ablation", AblateInitRate},
-		{"ablate-bucket", "leaky-queue vs token-bucket limiter (§4.3.3)", AblateBucket},
-		{"quota", "congestion quota extension (§7)", AblateQuota},
+		{"fig7", "per-packet processing overhead (Linux prototype table)", Fig7, false},
+		{"fig8", "unwanted-traffic flooding: mean 20KB transfer time", Fig8, true},
+		{"fig9a", "colluding attacks, long-running TCP: throughput ratio", func(sc Scale) Result { return Fig9(sc, false) }, true},
+		{"fig9b", "colluding attacks, web-like traffic: throughput ratio", func(sc Scale) Result { return Fig9(sc, true) }, true},
+		{"fig10", "multi-bottleneck parking lot, core design", func(sc Scale) Result { return Fig10(sc, ModeCore) }, false},
+		{"fig11", "microscopic on-off attacks: user throughput", Fig11, false},
+		{"fig13", "parking lot with multi-bottleneck feedback (App. B.1)", func(sc Scale) Result { return Fig10(sc, ModeMultiFB) }, false},
+		{"fig14", "parking lot with rate-limiter inference (App. B.2)", func(sc Scale) Result { return Fig10(sc, ModeInfer) }, false},
+		{"theorem", "fair-share lower bound of §3.4/Appendix A", Theorem, false},
+		{"localize", "compromised-AS damage localization (§4.5)", Localize, false},
+		{"header", "NetFence header sizes (§6.1)", HeaderSizes, false},
+		{"ablate-hysteresis", "L-down hysteresis ablation (footnote 1)", AblateHysteresis, false},
+		{"ablate-initrate", "initial rate-limit ablation", AblateInitRate, false},
+		{"ablate-bucket", "leaky-queue vs token-bucket limiter (§4.3.3)", AblateBucket, false},
+		{"quota", "congestion quota extension (§7)", AblateQuota, false},
 	}
 }
 

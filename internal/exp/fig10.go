@@ -94,7 +94,7 @@ func fig10Cell(sc Scale, mode Mode, l1, l2 int64) fig10Out {
 	nfCfg.MultiFeedback = mode == ModeMultiFB
 	nfCfg.InferLimiters = mode == ModeInfer
 	s := core.NewSystem(pl.Net, nfCfg)
-	deployParkingLot(pl, s)
+	pl.Deploy(s, defense.Policy{})
 
 	type groupState struct {
 		userCtr []*int64

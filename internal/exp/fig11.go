@@ -48,7 +48,7 @@ func fig11Cell(sc Scale, ton, toff sim.Time) float64 {
 	cfg.ColluderASes = 9
 	d := topo.NewDumbbell(eng, cfg)
 	s := core.NewSystem(d.Net, core.DefaultConfig())
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	legit, attackers := fig9Roles(d, cfg.HostsPerAS)
 	receivers := make([]*transport.TCPReceiver, len(legit))

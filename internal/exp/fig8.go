@@ -28,7 +28,7 @@ func Fig8(sc Scale) Result {
 		Columns: []string{"senders", "system", "mean FCT (s)", "p95 (s)", "completion", "transfers"},
 	}
 	for _, label := range sc.Labels {
-		for _, kind := range ComparedSystems {
+		for _, kind := range sc.Compared() {
 			fct := fig8Cell(sc, label, kind)
 			res.AddRow(
 				fmt.Sprintf("%dK", label/1000),
@@ -44,24 +44,11 @@ func Fig8(sc Scale) Result {
 	return res
 }
 
-// StrategicRequestLevel computes the attack strategy of §6.3.1: the
-// highest priority level at which the aggregate admitted attack traffic
-// still saturates the request channel. attackers is the flood population,
-// bottleneckBps the link capacity.
+// StrategicRequestLevel computes the attack strategy of §6.3.1; it lives
+// in core (the pure function of the NetFence parameters) and is
+// re-exported here for the experiment harness.
 func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg core.Config) uint8 {
-	channel := cfg.RequestCapFrac * float64(bottleneckBps)
-	level := uint8(1)
-	for level < cfg.MaxPrioLevel {
-		next := level + 1
-		// Admitted per-sender packet rate at a level halves per step.
-		perSender := cfg.TokenRatePerSec / float64(uint64(1)<<(next-1))
-		aggregate := float64(attackers) * perSender * packet.SizeRequest * 8
-		if aggregate < channel {
-			break
-		}
-		level = next
-	}
-	return level
+	return core.StrategicRequestLevel(attackers, bottleneckBps, cfg)
 }
 
 // fig8Roles splits a dumbbell's senders: the first host of each source
@@ -90,7 +77,7 @@ func fig8Cell(sc Scale, label int, kind SystemKind) *metrics.FCT {
 	for _, a := range attackers {
 		denySet[a.ID] = true
 	}
-	deployDumbbell(d, s, defense.Policy{Deny: func(src packet.NodeID) bool {
+	d.Deploy(s, defense.Policy{Deny: func(src packet.NodeID) bool {
 		return denySet[src]
 	}})
 	d.Victim.Host.OnUnknownFlow = func(p *packet.Packet) netsim.Agent {

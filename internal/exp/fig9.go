@@ -31,7 +31,7 @@ func Fig9(sc Scale, web bool) Result {
 		Columns: []string{"senders", "system", "ratio", "Jain legit", "legit kbps", "attacker kbps", "util"},
 	}
 	for _, label := range sc.Labels {
-		for _, kind := range ComparedSystems {
+		for _, kind := range sc.Compared() {
 			c := fig9Cell(sc, label, kind, web)
 			res.AddRow(
 				fmt.Sprintf("%dK", label/1000),
@@ -78,7 +78,7 @@ func fig9Cell(sc Scale, label int, kind SystemKind, web bool) fig9Out {
 	d := topo.NewDumbbell(eng, cfg)
 	s := buildSystem(kind, d.Net, core.DefaultConfig())
 	// Colluding receivers do not identify attack traffic: no Deny.
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	legit, attackers := fig9Roles(d, cfg.HostsPerAS)
 

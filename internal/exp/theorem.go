@@ -80,7 +80,7 @@ func theoremCell(sc Scale, ton, toff sim.Time) theoremOut {
 	cfg.ColluderASes = 9
 	d := topo.NewDumbbell(eng, cfg)
 	s := core.NewSystem(d.Net, core.DefaultConfig())
-	deployDumbbell(d, s, defense.Policy{})
+	d.Deploy(s, defense.Policy{})
 
 	legit, attackers := fig9Roles(d, cfg.HostsPerAS)
 	// The first two legitimate senders are greedy constant-rate probes:

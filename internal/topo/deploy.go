@@ -1,0 +1,45 @@
+package topo
+
+import "netfence/internal/defense"
+
+// Deploy installs a defense system across the dumbbell: the bottleneck
+// link is protected, every access router polices, and every host gets the
+// system's shim. deny is the victim's receiver policy; senders and
+// colluders accept everyone.
+func (d *Dumbbell) Deploy(s defense.System, deny defense.Policy) {
+	s.ProtectLink(d.Bottleneck)
+	for _, ra := range d.SrcAccess {
+		s.ProtectAccess(ra)
+	}
+	s.ProtectAccess(d.VictimAccess)
+	for _, rc := range d.ColluderAccess {
+		s.ProtectAccess(rc)
+	}
+	for _, h := range d.Senders {
+		s.AttachHost(h, defense.Policy{})
+	}
+	s.AttachHost(d.Victim, deny)
+	for _, c := range d.Colluders {
+		s.AttachHost(c, defense.Policy{})
+	}
+}
+
+// Deploy installs a defense system across the parking lot, protecting
+// both bottlenecks. deny is applied to every group's victim.
+func (pl *ParkingLot) Deploy(s defense.System, deny defense.Policy) {
+	s.ProtectLink(pl.L1)
+	s.ProtectLink(pl.L2)
+	for g := range pl.Groups {
+		grp := &pl.Groups[g]
+		for _, ra := range grp.Access {
+			s.ProtectAccess(ra)
+		}
+		for _, h := range grp.Senders {
+			s.AttachHost(h, defense.Policy{})
+		}
+		s.AttachHost(grp.Victim, deny)
+		for _, c := range grp.Colluders {
+			s.AttachHost(c, defense.Policy{})
+		}
+	}
+}

@@ -5,20 +5,26 @@
 // paper's comparison baselines (TVA+, StopIt, per-sender fair queuing),
 // and a packet-level discrete-event simulator to run them on.
 //
-// This root package is the public facade: it re-exports the pieces a
-// downstream user needs to build topologies, deploy defense systems,
-// attach workloads and regenerate the paper's experiments. The examples/
-// directory shows complete programs; cmd/netfence-sim regenerates every
-// table and figure.
+// This root package is the public facade. The primary API is the
+// declarative Scenario: name a topology, a defense from the pluggable
+// registry, workloads and probes, and Run it — or fan a whole
+// defenses × populations × seeds matrix across cores with Sweep:
 //
-// A minimal session:
+//	res, err := netfence.Scenario{
+//		Seed:     42,
+//		Topology: netfence.DumbbellSpec{Senders: 2, BottleneckBps: 400_000, ColluderASes: 1},
+//		Defense:  netfence.Defense("netfence"),
+//		Workloads: []netfence.Workload{
+//			netfence.LongTCP{Senders: []int{0}},
+//			netfence.ColluderPairs{Senders: []int{1}},
+//		},
+//		Duration: 180 * netfence.Second,
+//	}.Run()
 //
-//	eng := netfence.NewEngine(42)
-//	d := netfence.NewDumbbell(eng, netfence.DefaultDumbbell(20, 8_000_000))
-//	sys := netfence.NewSystem(d.Net, netfence.DefaultConfig())
-//	netfence.DeployDumbbell(d, sys, netfence.Policy{})
-//	... attach transports from the re-exported constructors ...
-//	eng.RunUntil(60 * netfence.Second)
+// The low-level pieces (engine, topologies, defense constructors,
+// transports) remain exported for programs that need manual wiring; the
+// examples/ directory shows both styles, and cmd/netfence-sim
+// regenerates every table and figure of the paper.
 package netfence
 
 import (
@@ -130,21 +136,13 @@ func NewParkingLot(eng *Engine, cfg ParkingLotConfig) *ParkingLot {
 // protected, access routers policing, hosts shimmed; deny is the victim's
 // receiver policy.
 func DeployDumbbell(d *Dumbbell, s DefenseSystem, deny Policy) {
-	s.ProtectLink(d.Bottleneck)
-	for _, ra := range d.SrcAccess {
-		s.ProtectAccess(ra)
-	}
-	s.ProtectAccess(d.VictimAccess)
-	for _, rc := range d.ColluderAccess {
-		s.ProtectAccess(rc)
-	}
-	for _, h := range d.Senders {
-		s.AttachHost(h, Policy{})
-	}
-	s.AttachHost(d.Victim, deny)
-	for _, c := range d.Colluders {
-		s.AttachHost(c, Policy{})
-	}
+	d.Deploy(s, deny)
+}
+
+// DeployParkingLot installs a defense system across a parking lot,
+// protecting both bottlenecks; deny is applied to every group's victim.
+func DeployParkingLot(pl *ParkingLot, s DefenseSystem, deny Policy) {
+	pl.Deploy(s, deny)
 }
 
 // Transports and workloads.
@@ -155,6 +153,8 @@ type (
 	TCPReceiver = transport.TCPReceiver
 	// TCPConfig tunes TCP.
 	TCPConfig = transport.TCPConfig
+	// WebConfig tunes the web-like source.
+	WebConfig = transport.WebConfig
 	// UDPSource is a constant-rate or on-off UDP source.
 	UDPSource = transport.UDPSource
 	// UDPSink counts delivered traffic.
@@ -169,6 +169,9 @@ type (
 
 // DefaultTCP returns the evaluation TCP configuration.
 func DefaultTCP() TCPConfig { return transport.DefaultTCP() }
+
+// DefaultWeb returns the §6.3.2 web workload parameters.
+func DefaultWeb() WebConfig { return transport.DefaultWeb() }
 
 // NewTCPSender, NewTCPReceiver, NewUDPSource, NewUDPSink, NewFileClient,
 // NewWebSource and NewRequestFlooder mirror the internal constructors.

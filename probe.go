@@ -1,0 +1,251 @@
+package netfence
+
+import (
+	"fmt"
+	"strings"
+
+	"netfence/internal/metrics"
+)
+
+// Probe measures a scenario run and writes its findings into the Result.
+// Probes share the central measurement window: meters are snapshotted at
+// Warmup and read at Duration.
+type Probe interface {
+	install(env *scenarioEnv) error
+	finish(env *scenarioEnv, res *Result)
+}
+
+// Result is one scenario's measured outcome: pure data, identical across
+// reruns of the same seed, so sweep results can be compared directly.
+type Result struct {
+	Scenario string
+	Defense  string
+	Seed     uint64
+	// Senders is the topology's total sender population.
+	Senders                int
+	DurationSec, WarmupSec float64
+
+	// GoodputProbe: mean post-warmup goodput of user and attacker
+	// senders, their ratio (the paper's headline fairness metric), the
+	// per-sender rates behind the means, and bottleneck utilization.
+	UserBps, AttackerBps float64
+	Ratio                float64
+	UserRates            []float64
+	AttackerRates        []float64
+	Utilization          float64
+
+	// FairnessProbe: Jain's index across user senders.
+	Jain float64
+
+	// FCTProbe: transfer-completion aggregate of the file and web
+	// workloads.
+	FCT FCTSummary
+
+	// TimeseriesProbe: per-interval samples.
+	Series []Sample
+}
+
+// FCTSummary condenses the flow-completion-time aggregate.
+type FCTSummary struct {
+	Count, Failed   int
+	MeanSec, P95Sec float64
+	Completion      float64
+}
+
+// Sample is one timeseries interval.
+type Sample struct {
+	// TimeSec is the interval's end, in simulated seconds.
+	TimeSec float64
+	// UserBps and AttackerBps are aggregate goodput over the interval.
+	UserBps, AttackerBps float64
+	// Monitoring reports whether the NetFence bottleneck was in its
+	// monitoring cycle at the sample instant (false for other defenses).
+	Monitoring bool
+}
+
+// String renders the one-line summary of a result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s seed=%d n=%d]", r.Scenario, r.Defense, r.Seed, r.Senders)
+	if r.UserBps > 0 || r.AttackerBps > 0 {
+		fmt.Fprintf(&b, " user=%.0fkbps attacker=%.0fkbps ratio=%.2f jain=%.2f util=%.0f%%",
+			r.UserBps/1000, r.AttackerBps/1000, r.Ratio, r.Jain, 100*r.Utilization)
+	}
+	if r.FCT.Count+r.FCT.Failed > 0 {
+		fmt.Fprintf(&b, " fct=%.2fs p95=%.2fs completion=%.0f%%",
+			r.FCT.MeanSec, r.FCT.P95Sec, 100*r.FCT.Completion)
+	}
+	return b.String()
+}
+
+// FormatResults renders a result set as an aligned table — the unified
+// output of RunAll and Sweep.Run.
+func FormatResults(results []*Result) string {
+	cols := []string{"scenario", "defense", "seed", "senders",
+		"user kbps", "atk kbps", "ratio", "jain", "util", "fct(s)", "compl"}
+	rows := [][]string{}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		fctMean, compl := "-", "-"
+		if r.FCT.Count+r.FCT.Failed > 0 {
+			fctMean = fmt.Sprintf("%.2f", r.FCT.MeanSec)
+			compl = fmt.Sprintf("%.0f%%", 100*r.FCT.Completion)
+		}
+		rows = append(rows, []string{
+			r.Scenario, r.Defense,
+			fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%d", r.Senders),
+			fmt.Sprintf("%.0f", r.UserBps/1000), fmt.Sprintf("%.0f", r.AttackerBps/1000),
+			fmt.Sprintf("%.2f", r.Ratio), fmt.Sprintf("%.2f", r.Jain),
+			fmt.Sprintf("%.0f%%", 100*r.Utilization), fctMean, compl,
+		})
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// GoodputProbe measures post-warmup goodput: per-sender rates, user and
+// attacker means, their ratio, and bottleneck utilization.
+type GoodputProbe struct{}
+
+func (GoodputProbe) install(*scenarioEnv) error { return nil }
+
+func (GoodputProbe) finish(env *scenarioEnv, res *Result) {
+	window := (env.duration - env.warmup).Seconds()
+	if window <= 0 {
+		return
+	}
+	for _, m := range env.meters {
+		rate := float64(m.bytes()-m.warmMark) * 8 / window
+		if m.attacker {
+			res.AttackerRates = append(res.AttackerRates, rate)
+		} else {
+			res.UserRates = append(res.UserRates, rate)
+		}
+	}
+	res.UserBps, _ = metrics.MeanStd(res.UserRates)
+	res.AttackerBps, _ = metrics.MeanStd(res.AttackerRates)
+	if res.AttackerBps > 0 {
+		res.Ratio = res.UserBps / res.AttackerBps
+	}
+	for i, l := range env.bottlenecks {
+		if i >= len(env.txWarmMarks) {
+			break
+		}
+		if u := l.Utilization(env.txWarmMarks[i], env.duration-env.warmup); u > res.Utilization {
+			res.Utilization = u
+		}
+	}
+}
+
+// FairnessProbe computes Jain's fairness index across the user senders'
+// post-warmup goodput.
+type FairnessProbe struct{}
+
+func (FairnessProbe) install(*scenarioEnv) error { return nil }
+
+func (FairnessProbe) finish(env *scenarioEnv, res *Result) {
+	window := (env.duration - env.warmup).Seconds()
+	if window <= 0 {
+		return
+	}
+	var rates []float64
+	for _, m := range env.meters {
+		if !m.attacker {
+			rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+		}
+	}
+	res.Jain = metrics.Jain(rates)
+}
+
+// FCTProbe summarizes the transfer completion times collected by the
+// file and web workloads.
+type FCTProbe struct{}
+
+func (FCTProbe) install(*scenarioEnv) error { return nil }
+
+func (FCTProbe) finish(env *scenarioEnv, res *Result) {
+	f := env.fct
+	res.FCT = FCTSummary{
+		Count:      f.Count(),
+		Failed:     f.Failed(),
+		MeanSec:    f.Mean().Seconds(),
+		P95Sec:     f.Percentile(95).Seconds(),
+		Completion: f.CompletionRatio(),
+	}
+}
+
+// TimeseriesProbe samples aggregate user and attacker goodput every
+// Interval over the whole run (not just post-warmup), tagging each sample
+// with the NetFence monitoring-cycle state where applicable.
+type TimeseriesProbe struct {
+	// Interval is the sampling period (0 = 10 s).
+	Interval Time
+}
+
+func (p TimeseriesProbe) install(env *scenarioEnv) error {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 10 * Second
+	}
+	env.eng.Tick(interval, func() {
+		secs := interval.Seconds()
+		var user, atk float64
+		for _, m := range env.meters {
+			cur := m.bytes()
+			rate := float64(cur-m.tickMark) * 8 / secs
+			m.tickMark = cur
+			if m.attacker {
+				atk += rate
+			} else {
+				user += rate
+			}
+		}
+		s := Sample{
+			TimeSec:     env.eng.Now().Seconds(),
+			UserBps:     user,
+			AttackerBps: atk,
+		}
+		if env.nfBottleneck != nil {
+			s.Monitoring = env.nfBottleneck.Monitoring()
+		}
+		env.series = append(env.series, s)
+	})
+	return nil
+}
+
+func (TimeseriesProbe) finish(env *scenarioEnv, res *Result) {
+	res.Series = env.series
+}

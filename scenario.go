@@ -1,0 +1,531 @@
+package netfence
+
+import (
+	"fmt"
+
+	// The baselines self-register in the defense registry; scenarios
+	// resolve them by name, so link them in explicitly.
+	_ "netfence/internal/baseline"
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+	"netfence/internal/transport"
+)
+
+// Scenario is the declarative description of one simulation: a topology,
+// a defense system resolved by name from the pluggable registry, a set of
+// workloads and attacks, and the probes that measure the outcome. Zero
+// manual wiring — Run builds the engine and network, deploys the defense,
+// attaches every transport, drives the simulation and samples the probes:
+//
+//	sc := netfence.Scenario{
+//		Seed:     42,
+//		Topology: netfence.DumbbellSpec{Senders: 2, BottleneckBps: 400_000, ColluderASes: 1},
+//		Defense:  netfence.Defense("netfence"),
+//		Workloads: []netfence.Workload{
+//			netfence.LongTCP{Senders: []int{0}},
+//			netfence.ColluderPairs{Senders: []int{1}},
+//		},
+//		Duration: 180 * netfence.Second,
+//	}
+//	res, err := sc.Run()
+type Scenario struct {
+	// Name labels the scenario in results (optional).
+	Name string
+	// Seed feeds the deterministic simulation RNG.
+	Seed uint64
+	// Topology declares the network: DumbbellSpec or ParkingLotSpec.
+	Topology TopologySpec
+	// Defense names the deployed system; the zero value means "netfence".
+	Defense DefenseSpec
+	// Workloads attach traffic; see Workload.
+	Workloads []Workload
+	// Probes measure the run; nil selects GoodputProbe, FairnessProbe
+	// and FCTProbe.
+	Probes []Probe
+	// Duration is the simulated run length (0 = 240 s); measurements
+	// start at Warmup (0 = Duration/2), leaving AIMD time to converge.
+	Duration, Warmup Time
+	// DenyAttackers gives every victim the paper's receiver policy: deny
+	// traffic from senders carrying attack workloads aimed at it
+	// (UDPFlood to the victim, RequestFlood). Colluder-bound floods are
+	// never denied — their receivers cooperate with the attacker.
+	DenyAttackers bool
+}
+
+// DefenseSpec selects a defense system from the registry.
+type DefenseSpec struct {
+	// Name is the registry name: "netfence", "tva", "stopit", "fq",
+	// "none", or any third-party registration. Empty means "netfence".
+	Name string
+	// Config optionally configures the system (core.Config for
+	// "netfence"); nil selects the system's defaults.
+	Config any
+}
+
+// Defense names a registered defense system with default configuration.
+func Defense(name string) DefenseSpec { return DefenseSpec{Name: name} }
+
+// RegisterDefense makes a third-party defense system resolvable by name
+// in scenarios and sweeps. In-tree systems are pre-registered.
+func RegisterDefense(name string, b DefenseBuilder) { defense.Register(name, b) }
+
+// Defenses returns the sorted names of every registered defense system.
+func Defenses() []string { return defense.Names() }
+
+// DefenseBuilder constructs a defense system over a network.
+type DefenseBuilder = defense.Builder
+
+// DefenseBuildOptions carries optional construction parameters.
+type DefenseBuildOptions = defense.BuildOptions
+
+// NewDefense resolves a registered defense by name and constructs it
+// over net; cfg optionally configures it (nil = defaults).
+func NewDefense(name string, net *Network, cfg any) (DefenseSystem, error) {
+	return defense.Build(name, net, defense.BuildOptions{Config: cfg})
+}
+
+// TopologySpec declares a scenario's network. DumbbellSpec and
+// ParkingLotSpec implement it.
+type TopologySpec interface {
+	buildTopo(eng *sim.Engine) (*builtTopo, error)
+	// withPopulation returns a copy at a different sender population —
+	// the Sweep runner's population axis.
+	withPopulation(n int) TopologySpec
+	population() int
+}
+
+// DumbbellSpec declares the §6.3.1 dumbbell: sender ASes through one
+// bottleneck to a victim AS, plus optional colluder ASes.
+type DumbbellSpec struct {
+	// Senders is the total sender-host population.
+	Senders int
+	// BottleneckBps is the bottleneck capacity.
+	BottleneckBps int64
+	// ColluderASes adds right-side ASes with one colluder host each.
+	ColluderASes int
+	// SrcASes overrides the source-AS count (0 = min(10, Senders)).
+	SrcASes int
+	// EdgeBps overrides the non-bottleneck capacity (0 = 10 Gbps).
+	EdgeBps int64
+	// Delay overrides the per-link propagation delay (0 = 10 ms).
+	Delay Time
+}
+
+func (s DumbbellSpec) population() int { return s.Senders }
+
+func (s DumbbellSpec) withPopulation(n int) TopologySpec {
+	s.Senders = n
+	return s
+}
+
+func (s DumbbellSpec) buildTopo(eng *sim.Engine) (*builtTopo, error) {
+	if s.Senders <= 0 {
+		return nil, fmt.Errorf("DumbbellSpec: Senders must be positive")
+	}
+	if s.BottleneckBps <= 0 {
+		return nil, fmt.Errorf("DumbbellSpec: BottleneckBps must be positive")
+	}
+	cfg := topo.DefaultDumbbell(s.Senders, s.BottleneckBps)
+	cfg.ColluderASes = s.ColluderASes
+	if s.SrcASes > 0 {
+		if s.Senders%s.SrcASes != 0 {
+			return nil, fmt.Errorf("DumbbellSpec: %d senders do not split evenly over %d ASes", s.Senders, s.SrcASes)
+		}
+		cfg.SrcASes = s.SrcASes
+		cfg.HostsPerAS = s.Senders / s.SrcASes
+	} else if cfg.SrcASes*cfg.HostsPerAS != s.Senders {
+		// DefaultDumbbell truncates to a multiple of its AS count; the
+		// declared population is a contract here, so fall back to the
+		// largest AS count that divides it exactly.
+		cfg.SrcASes = largestDivisor(s.Senders, cfg.SrcASes)
+		cfg.HostsPerAS = s.Senders / cfg.SrcASes
+	}
+	if s.EdgeBps > 0 {
+		cfg.EdgeBps = s.EdgeBps
+	}
+	if s.Delay > 0 {
+		cfg.Delay = s.Delay
+	}
+	d := topo.NewDumbbell(eng, cfg)
+	return &builtTopo{
+		net:         d.Net,
+		dumbbell:    d,
+		bottlenecks: []*netsim.Link{d.Bottleneck},
+		groups: []roleGroup{{
+			senders:   d.Senders,
+			victim:    d.Victim,
+			colluders: d.Colluders,
+		}},
+		deploy: d.Deploy,
+	}, nil
+}
+
+// ParkingLotSpec declares the §6.3.2 multi-bottleneck parking lot: a
+// chain of two bottlenecks with three sender groups. Group 0 crosses
+// both, group 1 only the second, group 2 only the first; each group has
+// its own victim and colluders.
+type ParkingLotSpec struct {
+	// SendersPerGroup is the host population of each group.
+	SendersPerGroup int
+	// L1Bps and L2Bps are the two bottleneck capacities.
+	L1Bps, L2Bps int64
+	// ASesPerGroup splits each group over this many ASes (0 = 5, clamped
+	// to the group population).
+	ASesPerGroup int
+	// ColluderASesPerGroup overrides the colluder count (0 = 3).
+	ColluderASesPerGroup int
+	Delay                Time
+
+	// declaredPopulation records a Sweep population-axis request; the
+	// declared population is a contract, so buildTopo rejects values
+	// that do not split into three equal groups.
+	declaredPopulation int
+}
+
+func (s ParkingLotSpec) population() int {
+	if s.declaredPopulation > 0 {
+		return s.declaredPopulation
+	}
+	return 3 * s.SendersPerGroup
+}
+
+func (s ParkingLotSpec) withPopulation(n int) TopologySpec {
+	s.SendersPerGroup = n / 3
+	s.declaredPopulation = n
+	return s
+}
+
+func (s ParkingLotSpec) buildTopo(eng *sim.Engine) (*builtTopo, error) {
+	if s.declaredPopulation > 0 && s.declaredPopulation != 3*s.SendersPerGroup {
+		return nil, fmt.Errorf("ParkingLotSpec: population %d does not split into 3 equal groups", s.declaredPopulation)
+	}
+	if s.SendersPerGroup <= 0 {
+		return nil, fmt.Errorf("ParkingLotSpec: SendersPerGroup must be positive")
+	}
+	if s.L1Bps <= 0 || s.L2Bps <= 0 {
+		return nil, fmt.Errorf("ParkingLotSpec: L1Bps and L2Bps must be positive")
+	}
+	cfg := topo.DefaultParkingLot(s.SendersPerGroup, s.L1Bps, s.L2Bps)
+	if s.ASesPerGroup > 0 {
+		if s.SendersPerGroup%s.ASesPerGroup != 0 {
+			return nil, fmt.Errorf("ParkingLotSpec: %d senders per group do not split evenly over %d ASes", s.SendersPerGroup, s.ASesPerGroup)
+		}
+		cfg.ASesPerGroup = s.ASesPerGroup
+	} else {
+		// The declared group population is a contract: pick the largest
+		// AS count that divides it exactly.
+		cfg.ASesPerGroup = largestDivisor(s.SendersPerGroup, cfg.ASesPerGroup)
+	}
+	if s.ColluderASesPerGroup > 0 {
+		cfg.ColluderASesPerGroup = s.ColluderASesPerGroup
+	}
+	if s.Delay > 0 {
+		cfg.Delay = s.Delay
+	}
+	pl := topo.NewParkingLot(eng, cfg)
+	bt := &builtTopo{
+		net:         pl.Net,
+		parkingLot:  pl,
+		bottlenecks: []*netsim.Link{pl.L1, pl.L2},
+		deploy:      pl.Deploy,
+	}
+	for g := range pl.Groups {
+		grp := &pl.Groups[g]
+		bt.groups = append(bt.groups, roleGroup{
+			senders:   grp.Senders,
+			victim:    grp.Victim,
+			colluders: grp.Colluders,
+		})
+	}
+	return bt, nil
+}
+
+// largestDivisor returns the largest k <= max (and >= 1) dividing n.
+func largestDivisor(n, max int) int {
+	if max > n {
+		max = n
+	}
+	for k := max; k > 1; k-- {
+		if n%k == 0 {
+			return k
+		}
+	}
+	return 1
+}
+
+// builtTopo is a constructed topology reduced to the role view the
+// workloads and probes operate on.
+type builtTopo struct {
+	net         *netsim.Network
+	dumbbell    *topo.Dumbbell
+	parkingLot  *topo.ParkingLot
+	bottlenecks []*netsim.Link
+	groups      []roleGroup
+	deploy      func(s defense.System, deny defense.Policy)
+}
+
+// roleGroup is one sender group with its destinations.
+type roleGroup struct {
+	senders   []*netsim.Node
+	victim    *netsim.Node
+	colluders []*netsim.Node
+}
+
+func (g *roleGroup) sender(idx int, kind string) (*netsim.Node, error) {
+	if idx < 0 || idx >= len(g.senders) {
+		return nil, fmt.Errorf("%s: sender index %d out of range (topology has %d)", kind, idx, len(g.senders))
+	}
+	return g.senders[idx], nil
+}
+
+// goodputMeter tracks one sender's delivered bytes for the probes.
+type goodputMeter struct {
+	group, sender int
+	attacker      bool
+	bytes         func() int64
+	warmMark      int64
+	tickMark      int64
+}
+
+// scenarioEnv is the mutable state shared by workload attachment, the
+// probes and the executor for one scenario run.
+type scenarioEnv struct {
+	sc     *Scenario
+	eng    *sim.Engine
+	net    *netsim.Network
+	system defense.System
+	*builtTopo
+
+	meters   []*goodputMeter
+	fct      *metrics.FCT
+	denySet  map[packet.NodeID]bool
+	stoppers []interface{ Stop() }
+
+	// listeners and srcCounters implement the per-group victim TCP
+	// listener with per-source goodput attribution (web and file
+	// workloads open fresh flows per transfer).
+	listeners   map[int]bool
+	srcCounters map[int]map[packet.NodeID]*int64
+
+	// nfBottleneck is the NetFence bottleneck state of a dumbbell
+	// deployment, for monitoring-cycle samples; nil otherwise.
+	nfBottleneck *core.Bottleneck
+
+	duration, warmup Time
+	txWarmMarks      []uint64
+	series           []Sample
+}
+
+func (env *scenarioEnv) group(g int, kind string) (*roleGroup, error) {
+	if g < 0 || g >= len(env.groups) {
+		return nil, fmt.Errorf("%s: group %d out of range (topology has %d)", kind, g, len(env.groups))
+	}
+	return &env.groups[g], nil
+}
+
+func (env *scenarioEnv) addMeter(group, sender int, attacker bool, bytes func() int64) {
+	env.meters = append(env.meters, &goodputMeter{
+		group: group, sender: sender, attacker: attacker, bytes: bytes,
+	})
+}
+
+// srcCounter returns the delivered-bytes counter for a source host at a
+// group's victim, creating it on first use.
+func (env *scenarioEnv) srcCounter(group int, src NodeID) *int64 {
+	m := env.srcCounters[group]
+	if m == nil {
+		m = map[packet.NodeID]*int64{}
+		env.srcCounters[group] = m
+	}
+	ctr := m[src]
+	if ctr == nil {
+		ctr = new(int64)
+		m[src] = ctr
+	}
+	return ctr
+}
+
+// ensureListener installs a TCP listener on a group's victim that
+// accepts fresh flows and attributes delivered bytes to their source.
+func (env *scenarioEnv) ensureListener(group int) {
+	if env.listeners[group] {
+		return
+	}
+	env.listeners[group] = true
+	v := env.groups[group].victim
+	v.Host.OnUnknownFlow = func(p *Packet) Agent {
+		if p.Proto != packet.ProtoTCP {
+			return nil
+		}
+		r := transport.NewTCPReceiver(v.Host, p.Flow)
+		if ctr := env.srcCounters[group][p.Src]; ctr != nil {
+			r.OnDeliver = func(b int) { *ctr += int64(b) }
+		}
+		return r
+	}
+}
+
+// bottleneckBps is the (first) bottleneck capacity, for strategic attack
+// computations.
+func (env *scenarioEnv) bottleneckBps() int64 { return env.bottlenecks[0].Rate }
+
+// snapshotWarm marks every meter and bottleneck at the warmup boundary.
+func (env *scenarioEnv) snapshotWarm() {
+	for _, m := range env.meters {
+		m.warmMark = m.bytes()
+	}
+	env.txWarmMarks = make([]uint64, len(env.bottlenecks))
+	for i, l := range env.bottlenecks {
+		env.txWarmMarks[i] = l.TxBytes
+	}
+}
+
+// Instance is a built, not-yet-run scenario: the escape hatch for code
+// that needs the underlying engine, topology or defense system alongside
+// the declarative layer.
+type Instance struct {
+	Scenario Scenario
+	Eng      *Engine
+	Net      *Network
+	System   DefenseSystem
+	// Dumbbell is the constructed topology for DumbbellSpec scenarios;
+	// ParkingLot for ParkingLotSpec scenarios. The other is nil.
+	Dumbbell   *Dumbbell
+	ParkingLot *ParkingLot
+
+	env    *scenarioEnv
+	probes []Probe
+}
+
+// Build validates the scenario and constructs everything — engine,
+// topology, defense deployment, workloads, probes — without running it.
+// Most callers want Run; Build is for introspection mid-run.
+func (s Scenario) Build() (*Instance, error) {
+	if s.Topology == nil {
+		return nil, fmt.Errorf("scenario %q: Topology is required", s.Name)
+	}
+	if s.Duration == 0 {
+		s.Duration = 240 * Second
+	}
+	if s.Warmup == 0 {
+		s.Warmup = s.Duration / 2
+	}
+	if s.Warmup >= s.Duration {
+		return nil, fmt.Errorf("scenario %q: Warmup (%v) must precede Duration (%v)", s.Name, s.Warmup, s.Duration)
+	}
+	if s.Defense.Name == "" {
+		s.Defense.Name = "netfence"
+	}
+
+	eng := sim.New(s.Seed)
+	bt, err := s.Topology.buildTopo(eng)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	system, err := defense.Build(s.Defense.Name, bt.net, defense.BuildOptions{Config: s.Defense.Config})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+
+	env := &scenarioEnv{
+		sc:          &s,
+		eng:         eng,
+		net:         bt.net,
+		system:      system,
+		builtTopo:   bt,
+		fct:         &metrics.FCT{},
+		denySet:     map[packet.NodeID]bool{},
+		listeners:   map[int]bool{},
+		srcCounters: map[int]map[packet.NodeID]*int64{},
+		duration:    s.Duration,
+		warmup:      s.Warmup,
+	}
+
+	// The deny policy closes over the deny set, which the attack
+	// workloads populate during attachment below.
+	var deny defense.Policy
+	if s.DenyAttackers {
+		deny.Deny = func(src packet.NodeID) bool { return env.denySet[src] }
+	}
+	bt.deploy(system, deny)
+
+	if cs, ok := system.(*core.System); ok && bt.dumbbell != nil {
+		env.nfBottleneck = cs.Bottleneck(bt.dumbbell.Bottleneck)
+	}
+
+	for _, w := range s.Workloads {
+		if err := w.attach(env); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+
+	probes := s.Probes
+	if probes == nil {
+		probes = []Probe{GoodputProbe{}, FairnessProbe{}, FCTProbe{}}
+	}
+	for _, p := range probes {
+		if err := p.install(env); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	eng.At(s.Warmup, env.snapshotWarm)
+
+	return &Instance{
+		Scenario:   s,
+		Eng:        eng,
+		Net:        bt.net,
+		System:     system,
+		Dumbbell:   bt.dumbbell,
+		ParkingLot: bt.parkingLot,
+		env:        env,
+		probes:     probes,
+	}, nil
+}
+
+// Run drives the built scenario to its Duration, stops the workloads,
+// and collects every probe into the Result.
+func (in *Instance) Run() *Result {
+	in.Eng.RunUntil(in.Scenario.Duration)
+	for _, st := range in.env.stoppers {
+		st.Stop()
+	}
+	res := &Result{
+		Scenario:    in.Scenario.Name,
+		Defense:     in.System.Name(),
+		Seed:        in.Scenario.Seed,
+		Senders:     in.Scenario.Topology.population(),
+		DurationSec: in.Scenario.Duration.Seconds(),
+		WarmupSec:   in.Scenario.Warmup.Seconds(),
+	}
+	for _, p := range in.probes {
+		p.finish(in.env, res)
+	}
+	return res
+}
+
+// Run builds and drives the scenario in one call.
+func (s Scenario) Run() (*Result, error) {
+	in, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return in.Run(), nil
+}
+
+// RunAll executes scenarios concurrently (one engine per scenario,
+// GOMAXPROCS workers) and returns their results in argument order. A
+// failing scenario leaves a nil slot; the error joins every failure.
+func RunAll(scs ...Scenario) ([]*Result, error) {
+	return runParallel(scs, 0)
+}
+
+// RunAllWithParallelism is RunAll with an explicit worker cap
+// (0 = GOMAXPROCS).
+func RunAllWithParallelism(parallelism int, scs ...Scenario) ([]*Result, error) {
+	return runParallel(scs, parallelism)
+}

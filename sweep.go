@@ -1,0 +1,168 @@
+package netfence
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netfence/internal/defense"
+)
+
+// Sweep fans a scenario matrix — defenses × populations × seeds — across
+// goroutines, one engine per scenario, and returns a unified result set.
+// Results are deterministic: the matrix expands in a fixed order, every
+// scenario runs on its own seeded engine, and results land in matrix
+// order regardless of worker count, so the same sweep always produces an
+// identical []*Result.
+//
+//	results, err := netfence.Sweep{
+//		Base:     base,
+//		Defenses: []string{"netfence", "tva", "stopit", "fq"},
+//		Seeds:    []uint64{1, 2, 3},
+//	}.Run()
+type Sweep struct {
+	// Base is the scenario every matrix cell derives from.
+	Base Scenario
+	// Defenses lists registry names to sweep (nil = just Base's defense).
+	Defenses []string
+	// Populations lists sender populations to sweep (nil = just Base's).
+	// With BaseFor unset, each entry only rebuilds Base's topology at
+	// that population — Base's workload sender lists are kept verbatim,
+	// which suits populations at or above every listed index but errors
+	// below them. Set BaseFor when the workloads depend on population.
+	Populations []int
+	// BaseFor, when set, generates the whole base scenario for a
+	// population cell instead of resizing Base's topology — the way to
+	// scale role splits (user/attacker index lists) with the population.
+	// Defense, seed and name are still applied per cell on top.
+	BaseFor func(population int) Scenario
+	// Seeds lists RNG seeds to sweep (nil = just Base's).
+	Seeds []uint64
+	// Parallelism caps concurrent scenarios (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Scenarios expands the matrix in its deterministic order:
+// defense-major, then population, then seed.
+func (sw Sweep) Scenarios() []Scenario {
+	defenses := sw.Defenses
+	if len(defenses) == 0 {
+		name := sw.Base.Defense.Name
+		if name == "" {
+			name = "netfence"
+		}
+		defenses = []string{name}
+	}
+	pops := sw.Populations
+	if len(pops) == 0 {
+		if sw.BaseFor != nil && sw.Base.Topology != nil {
+			// BaseFor with no explicit axis: one cell at the base
+			// population, still generated through BaseFor.
+			pops = []int{sw.Base.Topology.population()}
+		} else {
+			pops = []int{0} // keep the base topology
+		}
+	}
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{sw.Base.Seed}
+	}
+	baseName := sw.Base.Name
+	if baseName == "" {
+		baseName = "sweep"
+	}
+	baseDefense := defense.Canonical(sw.Base.Defense.Name)
+	if baseDefense == "" {
+		baseDefense = "netfence"
+	}
+
+	var out []Scenario
+	for _, d := range defenses {
+		for _, pop := range pops {
+			for _, seed := range seeds {
+				sc := sw.Base
+				if pop > 0 {
+					if sw.BaseFor != nil {
+						sc = sw.BaseFor(pop)
+					} else if sc.Topology != nil {
+						sc.Topology = sc.Topology.withPopulation(pop)
+					}
+				}
+				// A system-specific config only survives onto its own
+				// system; other cells fall back to defaults. The cell's
+				// scenario (Base or BaseFor's output) owns the config.
+				cellDefense := defense.Canonical(sc.Defense.Name)
+				if cellDefense == "" {
+					cellDefense = baseDefense
+				}
+				cellConfig := sc.Defense.Config
+				if cellConfig == nil && cellDefense == baseDefense {
+					cellConfig = sw.Base.Defense.Config
+				}
+				sc.Defense = DefenseSpec{Name: d}
+				if defense.Canonical(d) == cellDefense {
+					sc.Defense.Config = cellConfig
+				}
+				sc.Seed = seed
+				n := 0
+				if sc.Topology != nil {
+					n = sc.Topology.population()
+				}
+				sc.Name = fmt.Sprintf("%s/%s/n=%d/seed=%d", baseName, defense.Canonical(d), n, seed)
+				out = append(out, sc)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the matrix and returns results in matrix order. A failing
+// cell leaves a nil slot; the error joins every failure alongside the
+// completed cells' results.
+func (sw Sweep) Run() ([]*Result, error) {
+	if sw.BaseFor != nil && len(sw.Populations) == 0 && sw.Base.Topology == nil {
+		return nil, errors.New("netfence: Sweep.BaseFor needs Populations (or a Base topology to take the population from)")
+	}
+	for _, p := range sw.Populations {
+		if p <= 0 {
+			return nil, fmt.Errorf("netfence: Sweep population %d must be positive", p)
+		}
+	}
+	return runParallel(sw.Scenarios(), sw.Parallelism)
+}
+
+// runParallel drives scenarios across a bounded worker pool, slotting
+// each result at its scenario's index.
+func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(scs) {
+		parallelism = len(scs)
+	}
+	results := make([]*Result, len(scs))
+	errs := make([]error, len(scs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := scs[i].Run()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range scs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

@@ -1,0 +1,311 @@
+package netfence
+
+import (
+	"fmt"
+
+	"netfence/internal/core"
+	"netfence/internal/packet"
+	"netfence/internal/transport"
+)
+
+// Workload attaches traffic sources to a built scenario. The concrete
+// workloads are small spec structs — LongTCP, FileTransfers, WebTraffic,
+// UDPFlood, OnOffFlood, ColluderPairs, RequestFlood — that replace the
+// manual constructor wiring of the low-level API. Every workload names
+// its senders by index into the topology's sender list (per group on the
+// parking lot); Range builds index lists.
+type Workload interface {
+	attach(env *scenarioEnv) error
+}
+
+// Range returns the sender indices [lo, hi): Range(1, 10) selects
+// senders 1 through 9.
+func Range(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// LongTCP attaches an unbounded TCP Reno flow from each listed sender to
+// its group's victim — the paper's long-running legitimate user.
+type LongTCP struct {
+	// Senders indexes the topology's senders (within Group).
+	Senders []int
+	// Group selects the parking-lot sender group; must be 0 on a dumbbell.
+	Group int
+	// TCP overrides the evaluation TCP configuration (nil = DefaultTCP).
+	TCP *TCPConfig
+}
+
+func (w LongTCP) attach(env *scenarioEnv) error {
+	grp, err := env.group(w.Group, "LongTCP")
+	if err != nil {
+		return err
+	}
+	cfg := DefaultTCP()
+	if w.TCP != nil {
+		cfg = *w.TCP
+	}
+	for _, idx := range w.Senders {
+		h, err := grp.sender(idx, "LongTCP")
+		if err != nil {
+			return err
+		}
+		flow := env.net.NextFlow()
+		r := transport.NewTCPReceiver(grp.victim.Host, flow)
+		env.addMeter(w.Group, idx, false, r.DeliveredBytes)
+		transport.NewTCPSender(h.Host, grp.victim.ID, flow, -1, cfg).Start()
+	}
+	return nil
+}
+
+// FileTransfers attaches a repeating fixed-size file client from each
+// listed sender to its group's victim: the §6.3.1 workload (a 20 KB file
+// over a fresh connection, again and again). Completions feed the
+// scenario's FCT aggregate; delivered bytes feed the goodput meters.
+type FileTransfers struct {
+	Senders []int
+	Group   int
+	// FileBytes is the transfer size (0 = the paper's 20 KB).
+	FileBytes int64
+	// Gap delays the next attempt after a completion (0 = immediate).
+	Gap Time
+	TCP *TCPConfig
+}
+
+func (w FileTransfers) attach(env *scenarioEnv) error {
+	grp, err := env.group(w.Group, "FileTransfers")
+	if err != nil {
+		return err
+	}
+	size := w.FileBytes
+	if size <= 0 {
+		size = 20_000
+	}
+	cfg := DefaultTCP()
+	if w.TCP != nil {
+		cfg = *w.TCP
+	}
+	env.ensureListener(w.Group)
+	for _, idx := range w.Senders {
+		h, err := grp.sender(idx, "FileTransfers")
+		if err != nil {
+			return err
+		}
+		ctr := env.srcCounter(w.Group, h.ID)
+		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
+		c := transport.NewFileClient(h.Host, grp.victim.ID, size, cfg)
+		c.Gap = w.Gap
+		c.OnResult = func(fct Time, ok bool) { env.fct.Add(fct, ok) }
+		env.stoppers = append(env.stoppers, c)
+		c.Start()
+	}
+	return nil
+}
+
+// WebTraffic attaches the §6.3.2 web-like source (Pareto/exponential
+// file-size mixture with think times) from each listed sender to its
+// group's victim. Transfers feed the FCT aggregate and goodput meters.
+type WebTraffic struct {
+	Senders []int
+	Group   int
+	// Web overrides the workload parameters (nil = DefaultWeb).
+	Web *WebConfig
+}
+
+func (w WebTraffic) attach(env *scenarioEnv) error {
+	grp, err := env.group(w.Group, "WebTraffic")
+	if err != nil {
+		return err
+	}
+	cfg := DefaultWeb()
+	if w.Web != nil {
+		cfg = *w.Web
+	}
+	env.ensureListener(w.Group)
+	for _, idx := range w.Senders {
+		h, err := grp.sender(idx, "WebTraffic")
+		if err != nil {
+			return err
+		}
+		ctr := env.srcCounter(w.Group, h.ID)
+		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
+		src := transport.NewWebSource(h.Host, grp.victim.ID, cfg)
+		src.OnResult = func(_ int64, fct Time, ok bool) { env.fct.Add(fct, ok) }
+		env.stoppers = append(env.stoppers, src)
+		src.Start()
+	}
+	return nil
+}
+
+// UDPFlood attaches a constant-rate UDP source from each listed sender —
+// the paper's 1 Mbps attack load — aimed at the group's victim, or at the
+// group's colluder hosts when ToColluders is set. Flood senders count as
+// attackers for the goodput probes and join the victim's deny set when
+// the scenario sets DenyAttackers.
+type UDPFlood struct {
+	Senders []int
+	Group   int
+	// RateBps is the per-sender send rate (0 = 1 Mbps).
+	RateBps int64
+	// PktSize is the packet size on the wire (0 = 1500 B).
+	PktSize int32
+	// ToColluders redirects the flood to the group's colluder hosts
+	// (round-robin), modelling the §6.3.2 colluding sender-receiver pairs.
+	ToColluders bool
+}
+
+func (w UDPFlood) attach(env *scenarioEnv) error {
+	return attachFlood(env, floodSpec{
+		senders: w.Senders, group: w.Group, rate: w.RateBps,
+		pktSize: w.PktSize, toColluders: w.ToColluders, kind: "UDPFlood",
+	})
+}
+
+// OnOffFlood attaches the synchronized on-off UDP source of the §6.3.2
+// strategic attacks: every source turns on and off together, maximizing
+// burst alignment. OffRateBps keeps a low-rate trickle during off phases
+// (the feedback-harvesting shape of the hysteresis ablation).
+type OnOffFlood struct {
+	Senders []int
+	Group   int
+	RateBps int64
+	// On and Off are the burst and silence durations; both must be set.
+	On, Off Time
+	// OffRateBps, when positive, trickles during off phases.
+	OffRateBps  int64
+	PktSize     int32
+	ToColluders bool
+}
+
+func (w OnOffFlood) attach(env *scenarioEnv) error {
+	if w.On <= 0 || w.Off <= 0 {
+		return fmt.Errorf("OnOffFlood: On and Off must both be positive")
+	}
+	return attachFlood(env, floodSpec{
+		senders: w.Senders, group: w.Group, rate: w.RateBps,
+		pktSize: w.PktSize, toColluders: w.ToColluders,
+		on: w.On, off: w.Off, offRate: w.OffRateBps, kind: "OnOffFlood",
+	})
+}
+
+// ColluderPairs is UDPFlood aimed at colluding receivers: compromised
+// sender-receiver pairs that flood through the bottleneck while the
+// receiver dutifully returns congestion policing feedback, so
+// capabilities alone cannot stop them (§6.3.2).
+type ColluderPairs struct {
+	Senders []int
+	Group   int
+	RateBps int64
+}
+
+func (w ColluderPairs) attach(env *scenarioEnv) error {
+	return attachFlood(env, floodSpec{
+		senders: w.Senders, group: w.Group, rate: w.RateBps,
+		toColluders: true, kind: "ColluderPairs",
+	})
+}
+
+// floodSpec is the shared shape behind the UDP flood workloads.
+type floodSpec struct {
+	senders     []int
+	group       int
+	rate        int64
+	pktSize     int32
+	on, off     Time
+	offRate     int64
+	toColluders bool
+	kind        string
+}
+
+func attachFlood(env *scenarioEnv, spec floodSpec) error {
+	grp, err := env.group(spec.group, spec.kind)
+	if err != nil {
+		return err
+	}
+	if spec.toColluders && len(grp.colluders) == 0 {
+		return fmt.Errorf("%s: topology has no colluder hosts in group %d (set ColluderASes)", spec.kind, spec.group)
+	}
+	rate := spec.rate
+	if rate <= 0 {
+		rate = 1_000_000
+	}
+	pktSize := spec.pktSize
+	if pktSize <= 0 {
+		pktSize = packet.SizeData
+	}
+	for k, idx := range spec.senders {
+		h, err := grp.sender(idx, spec.kind)
+		if err != nil {
+			return err
+		}
+		var dstHost = grp.victim
+		if spec.toColluders {
+			dstHost = grp.colluders[k%len(grp.colluders)]
+		} else {
+			env.denySet[h.ID] = true
+		}
+		flow := env.net.NextFlow()
+		sink := transport.NewUDPSink(dstHost.Host, flow)
+		env.addMeter(spec.group, idx, true, func() int64 { return int64(sink.Bytes) })
+		u := transport.NewUDPSource(h.Host, dstHost.ID, flow, rate, pktSize)
+		u.OnTime, u.OffTime = spec.on, spec.off
+		u.OffRateBps = spec.offRate
+		env.stoppers = append(env.stoppers, u)
+		u.Start()
+	}
+	return nil
+}
+
+// RequestFlood attaches the request-channel attack source of §6.3.1:
+// request packets blasted at a fixed priority level toward the group's
+// victim. With Strategic set, the level is computed from the flood
+// population and bottleneck capacity — the highest level whose aggregate
+// admitted traffic still saturates the request channel. Flood senders
+// join the victim's deny set when the scenario sets DenyAttackers.
+type RequestFlood struct {
+	Senders []int
+	Group   int
+	RateBps int64
+	// Level is the request-packet priority level.
+	Level uint8
+	// Strategic overrides Level with the §6.3.1 attack strategy.
+	Strategic bool
+}
+
+func (w RequestFlood) attach(env *scenarioEnv) error {
+	grp, err := env.group(w.Group, "RequestFlood")
+	if err != nil {
+		return err
+	}
+	rate := w.RateBps
+	if rate <= 0 {
+		rate = 1_000_000
+	}
+	level := w.Level
+	if w.Strategic {
+		cfg := core.DefaultConfig()
+		if c, ok := env.sc.Defense.Config.(Config); ok {
+			cfg = c
+		}
+		level = core.StrategicRequestLevel(len(w.Senders), env.bottleneckBps(), cfg)
+	}
+	env.ensureListener(w.Group)
+	for _, idx := range w.Senders {
+		h, err := grp.sender(idx, "RequestFlood")
+		if err != nil {
+			return err
+		}
+		env.denySet[h.ID] = true
+		flow := env.net.NextFlow()
+		f := transport.NewRequestFlooder(h.Host, grp.victim.ID, flow, rate, level)
+		env.stoppers = append(env.stoppers, f)
+		f.Start()
+	}
+	return nil
+}
