@@ -13,21 +13,34 @@
 // defense systems with -defense (see -list-defenses).
 //
 // Scenario-matrix mode fans the paper's collusion scenario over a
-// defenses × populations × seeds matrix, in parallel, one engine per
-// cell, and prints a unified result table:
+// defenses × populations × deployment-fractions × seeds matrix, in
+// parallel, one engine per cell, and prints a unified result table.
+// -topo swaps the topology for any registered one (see
+// -list-topologies): the classic dumbbell, the parking lot, the
+// single-AS star hotspot, or the seeded random AS-level graph. -deploy
+// sweeps partial deployment: each fraction deploys the defense on that
+// share of source ASes, leaving the rest legacy (NetFence demotes their
+// traffic to best-effort):
 //
 //	netfence-sim -sweep -defense netfence,tva,stopit,fq -seeds 1,2,3
 //	netfence-sim -sweep -senders 20,40 -bottleneck 4000000 -duration 240
+//	netfence-sim -sweep -topo random-as -deploy 0,0.5,1
 //
 // Scales: tiny (seconds of wall time, CI), small (default, minutes),
 // paper (the full 1000-sender, 4000-simulated-second configuration —
 // expect a long run).
+//
+// -bench-json emits a machine-readable benchmark baseline (tiny-scale
+// wall time per experiment family) for perf-trajectory tracking; the
+// checked-in BENCH_PR2.json was generated this way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -44,14 +57,19 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments")
 		listDef  = flag.Bool("list-defenses", false, "list registered defense systems")
+		listTopo = flag.Bool("list-topologies", false, "list registered topologies")
 		defenses = flag.String("defense", "", "comma-separated defense systems (default: the paper's lineup)")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
+		topoName   = flag.String("topo", "", "sweep: registered topology name (default: the paper's 9-colluder dumbbell)")
 		seeds      = flag.String("seeds", "1", "sweep: comma-separated RNG seeds")
 		senders    = flag.String("senders", "20", "sweep: comma-separated sender populations")
-		bottleneck = flag.Int64("bottleneck", 4_000_000, "sweep: bottleneck capacity (bps)")
+		deploy     = flag.String("deploy", "", "sweep: comma-separated deployed source-AS fractions in [0,1] (empty = full deployment)")
+		bottleneck = flag.Int64("bottleneck", 4_000_000, "sweep: bottleneck capacity in bps (default dumbbell only; -topo topologies scale it per sender)")
 		duration   = flag.Int("duration", 240, "sweep: simulated seconds per cell")
 		parallel   = flag.Int("parallelism", 0, "sweep: concurrent cells (0 = GOMAXPROCS)")
+
+		benchJSON = flag.Bool("bench-json", false, "emit the tiny-scale benchmark baseline as JSON and exit")
 	)
 	flag.Parse()
 
@@ -67,6 +85,16 @@ func main() {
 		}
 		return
 	}
+	if *listTopo {
+		for _, name := range netfence.Topologies() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *benchJSON {
+		runBenchJSON()
+		return
+	}
 
 	defenseList, err := parseDefenses(*defenses)
 	if err != nil {
@@ -74,7 +102,7 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(defenseList, *seeds, *senders, *bottleneck, *duration, *parallel)
+		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, *bottleneck, *duration, *parallel)
 		return
 	}
 
@@ -111,8 +139,9 @@ func main() {
 }
 
 // runSweep fans the paper's collusion scenario (25% long-TCP users, 75%
-// colluder pairs) over defenses × populations × seeds.
-func runSweep(defenseList []string, seedsCSV, sendersCSV string, bottleneck int64, durationSec, parallelism int) {
+// colluder pairs) over defenses × populations × deployment fractions ×
+// seeds, on the default dumbbell or any registered topology.
+func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, bottleneck int64, durationSec, parallelism int) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -121,8 +150,30 @@ func runSweep(defenseList []string, seedsCSV, sendersCSV string, bottleneck int6
 	if err != nil {
 		fatal(fmt.Errorf("-senders: %w", err))
 	}
+	deployList, err := parseFloats(deployCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-deploy: %w", err))
+	}
 	if len(defenseList) == 0 {
 		defenseList = []string{"netfence", "tva", "stopit", "fq"}
+	}
+	// Mirror the registry's canonicalization so alternate spellings
+	// ("ParkingLot") hit the parking-lot special case below. An unknown
+	// name surfaces from the registry when the first cell builds, with
+	// the registered-names message.
+	topoName = strings.ToLower(strings.TrimSpace(topoName))
+
+	// collusionWorkloads splits a sender group 25% long-TCP users / 75%
+	// colluder pairs.
+	collusionWorkloads := func(group, senders int) []netfence.Workload {
+		users := senders / 4
+		if users == 0 && senders > 0 {
+			users = 1
+		}
+		return []netfence.Workload{
+			netfence.LongTCP{Group: group, Senders: netfence.Range(0, users)},
+			netfence.ColluderPairs{Group: group, Senders: netfence.Range(users, senders), RateBps: 1_000_000},
+		}
 	}
 
 	sw := netfence.Sweep{
@@ -130,23 +181,41 @@ func runSweep(defenseList []string, seedsCSV, sendersCSV string, bottleneck int6
 		// The role split depends on the population, so each population
 		// cell rebuilds the scenario through BaseFor.
 		BaseFor: func(pop int) netfence.Scenario {
-			users := pop / 4
-			if users == 0 {
-				users = 1
+			var spec netfence.TopologySpec
+			var wl []netfence.Workload
+			switch topoName {
+			case "":
+				spec = netfence.DumbbellSpec{Senders: pop, BottleneckBps: bottleneck, ColluderASes: 9}
+				wl = collusionWorkloads(0, pop)
+			case "parkinglot":
+				// The parking lot splits the population over three
+				// sender groups: round the requested population down to
+				// a multiple of 3 and attach the collusion mix to each.
+				if pop -= pop % 3; pop < 3 {
+					pop = 3
+				}
+				spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
+				for g := 0; g < 3; g++ {
+					wl = append(wl, collusionWorkloads(g, pop/3)...)
+				}
+			default:
+				// Registered topologies own their scaling: the in-tree
+				// defaults keep a 200 kbps per-sender fair share and
+				// include colluder ASes.
+				spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
+				wl = collusionWorkloads(0, pop)
 			}
 			return netfence.Scenario{
-				Topology: netfence.DumbbellSpec{Senders: pop, BottleneckBps: bottleneck, ColluderASes: 9},
-				Workloads: []netfence.Workload{
-					netfence.LongTCP{Senders: netfence.Range(0, users)},
-					netfence.ColluderPairs{Senders: netfence.Range(users, pop), RateBps: 1_000_000},
-				},
-				Duration: netfence.Time(durationSec) * netfence.Second,
+				Topology:  spec,
+				Workloads: wl,
+				Duration:  netfence.Time(durationSec) * netfence.Second,
 			}
 		},
-		Defenses:    defenseList,
-		Populations: popList,
-		Seeds:       seedList,
-		Parallelism: parallelism,
+		Defenses:        defenseList,
+		Populations:     popList,
+		DeployFractions: deployList,
+		Seeds:           seedList,
+		Parallelism:     parallelism,
 	}
 
 	start := time.Now()
@@ -206,6 +275,21 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
+func parseFloats(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func parseUints(csv string) ([]uint64, error) {
 	var out []uint64
 	for _, f := range strings.Split(csv, ",") {
@@ -216,6 +300,53 @@ func parseUints(csv string) ([]uint64, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// benchNames is the fixed experiment-family suite timed by -bench-json:
+// one per major simulation shape (capability channel, collusion,
+// multi-bottleneck, analytic bound, incremental deployment).
+var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy"}
+
+// runBenchJSON times each suite member once at tiny scale and emits a
+// JSON baseline, so successive PRs can track the perf trajectory
+// (BENCH_PR2.json is the first checked-in point).
+func runBenchJSON() {
+	type row struct {
+		Name        string  `json:"name"`
+		Scale       string  `json:"scale"`
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	type report struct {
+		GoVersion string `json:"go_version"`
+		GOOS      string `json:"goos"`
+		GOARCH    string `json:"goarch"`
+		NumCPU    int    `json:"num_cpu"`
+		Rows      []row  `json:"benchmarks"`
+	}
+	sc, err := exp.ScaleByName("tiny")
+	if err != nil {
+		fatal(err)
+	}
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, name := range benchNames {
+		r, err := exp.RunnerByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		r.Run(sc)
+		rep.Rows = append(rep.Rows, row{Name: name, Scale: sc.Name, WallSeconds: time.Since(start).Seconds()})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

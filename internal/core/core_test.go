@@ -443,18 +443,35 @@ func TestPassportBlocksSpoofedAS(t *testing.T) {
 		t.Fatal("honest transfer failed with Passport enabled")
 	}
 	// A spoofed packet injected past the access router (compromised
-	// router scenario) carries no valid trailer and dies at the
-	// bottleneck.
+	// router scenario) presenting forged regular-channel credentials
+	// carries no valid trailer and dies at the bottleneck.
 	sink := transport.NewUDPSink(d.Victim.Host, 99)
 	spoof := &packet.Packet{
 		Src: d.Senders[1].ID, SrcAS: 555, Dst: d.Victim.ID, DstAS: d.Victim.AS,
 		Flow: 99, Kind: packet.KindRegular, Proto: packet.ProtoUDP,
 		Size: 1500, Payload: 1400,
+		FB: packet.Feedback{MAC: [4]byte{1, 2, 3, 4}}, // forged stamp
 	}
 	d.Net.Forward(d.SrcAccess[1], spoof)
 	d.Net.Eng.RunUntil(31 * sim.Second)
 	if sink.Packets != 0 {
 		t.Fatal("spoofed packet crossed the bottleneck")
+	}
+	// An UNSTAMPED packet is indistinguishable from a legacy host's
+	// traffic: §4.4 demotes it to the best-effort channel instead of
+	// dropping it, so incremental deployment keeps legacy ASes online.
+	bare := &packet.Packet{
+		Src: d.Senders[1].ID, SrcAS: d.Senders[1].AS, Dst: d.Victim.ID, DstAS: d.Victim.AS,
+		Flow: 99, Kind: packet.KindRegular, Proto: packet.ProtoUDP,
+		Size: 1500, Payload: 1400,
+	}
+	d.Net.Forward(d.SrcAccess[1], bare)
+	d.Net.Eng.RunUntil(32 * sim.Second)
+	if sink.Packets != 1 {
+		t.Fatalf("legacy (unstamped) packet not served best-effort: %d delivered", sink.Packets)
+	}
+	if bare.Kind != packet.KindLegacy {
+		t.Fatalf("unstamped packet not demoted to legacy: %v", bare.Kind)
 	}
 }
 

@@ -113,7 +113,24 @@ func (q *nfQueue) fallbackActive() bool { return q.fallback != nil }
 
 // Enqueue routes the packet to its channel.
 func (q *nfQueue) Enqueue(p *packet.Packet, now sim.Time) bool {
-	if q.verify != nil && !q.verify(p) {
+	// §4.4 demotion: a "regular" packet that no access router ever
+	// stamped carries no verifiable congestion policing feedback.
+	// Senders in legacy (non-deploying) ASes bypass policing entirely,
+	// so their claim to the regular channel is unenforceable — rewrite
+	// the header to legacy and serve them best-effort. (Packets that DO
+	// present credentials are authenticated below and dropped on
+	// forgery; absence of credentials is indistinguishable from a
+	// legacy host and must not be punished harder than best-effort.)
+	// "Never stamped" is the all-zero feedback element: any access
+	// stamp fills the MAC and token fields with CMAC output, so a
+	// false demotion needs both truncated MACs to be zero (~2^-64).
+	if p.Kind == packet.KindRegular && p.FB == (packet.Feedback{}) && !p.MFB.Present {
+		p.Kind = packet.KindLegacy
+	}
+	// Legacy traffic carries no Passport trailer either: skip source
+	// authentication; it rides the best-effort channel regardless.
+	legacy := p.Kind != packet.KindRequest && p.Kind != packet.KindRegular
+	if !legacy && q.verify != nil && !q.verify(p) {
 		q.verifyFails++
 		return false
 	}

@@ -241,6 +241,7 @@ func Runners() []Runner {
 		{"ablate-initrate", "initial rate-limit ablation", AblateInitRate, false},
 		{"ablate-bucket", "leaky-queue vs token-bucket limiter (§4.3.3)", AblateBucket, false},
 		{"quota", "congestion quota extension (§7)", AblateQuota, false},
+		{"deploy", "incremental deployment: ratio vs deployed source-AS fraction", Deploy, true},
 	}
 }
 

@@ -156,10 +156,22 @@ func fig10Cell(sc Scale, mode Mode, l1, l2 int64) fig10Out {
 	}
 }
 
+// rogueShim models a compromised AS's host stack (§4.5): packets claim
+// the regular channel with forged — syntactically present but never
+// enforced — congestion policing feedback.
+type rogueShim struct{}
+
+func (rogueShim) Egress(p *packet.Packet) {
+	p.Kind = packet.KindRegular
+	p.FB.MAC = [4]byte{0xba, 0xad, 0xf0, 0x0d}
+}
+
+func (rogueShim) Ingress(*packet.Packet) bool { return true }
+
 // Localize regenerates the §4.5 damage-localization experiment (E10 in
 // DESIGN.md): one source AS harbors a compromised access router that does
-// not police, flooding raw regular packets. With the per-AS fallback the
-// honest AS keeps its share of the bottleneck.
+// not police, flooding regular packets under forged feedback. With the
+// per-AS fallback the honest AS keeps its share of the bottleneck.
 func Localize(sc Scale) Result {
 	res := Result{
 		Name:    "§4.5",
@@ -194,6 +206,14 @@ func localizeCell(sc Scale, fallback bool) (honestBps, rogueBps float64, engaged
 	s.AttachHost(d.Senders[0], defense.Policy{})
 	s.AttachHost(d.Victim, defense.Policy{})
 	s.AttachHost(d.Colluders[0], defense.Policy{})
+	// The compromised AS differs from a legacy AS: its router holds real
+	// NetFence keys and stamps plausible-looking feedback it never
+	// enforces. The bottleneck cannot verify nop feedback (only access
+	// routers hold those keys, §4.4), so the flood rides the regular
+	// channel — the exact hole the §4.5 per-AS fallback closes. A zero
+	// MAC would instead be demoted to legacy like a non-deploying AS's
+	// traffic.
+	d.Senders[1].Host.Shim = rogueShim{}
 
 	rcv := transport.NewTCPReceiver(d.Victim.Host, 1)
 	transport.NewTCPSender(d.Senders[0].Host, d.Victim.ID, 1, -1, transport.DefaultTCP()).Start()

@@ -71,6 +71,13 @@ func fig9Roles(d *topo.Dumbbell, hostsPerAS int) (legit, attackers []*netsim.Nod
 }
 
 func fig9Cell(sc Scale, label int, kind SystemKind, web bool) fig9Out {
+	return fig9CellDeploy(sc, label, kind, web, 1)
+}
+
+// fig9CellDeploy is fig9Cell at a partial deployment: only deployFrac of
+// the source ASes run the defense; the rest pass traffic undefended.
+// The incremental-deployment experiment sweeps this knob.
+func fig9CellDeploy(sc Scale, label int, kind SystemKind, web bool, deployFrac float64) fig9Out {
 	eng := sim.New(sc.Seed)
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
@@ -78,7 +85,7 @@ func fig9Cell(sc Scale, label int, kind SystemKind, web bool) fig9Out {
 	d := topo.NewDumbbell(eng, cfg)
 	s := buildSystem(kind, d.Net, core.DefaultConfig())
 	// Colluding receivers do not identify attack traffic: no Deny.
-	d.Deploy(s, defense.Policy{})
+	d.DeployPlan(s, defense.Policy{}, topo.PlanFraction(d.G.SourceASes(), deployFrac))
 
 	legit, attackers := fig9Roles(d, cfg.HostsPerAS)
 

@@ -1,45 +1,117 @@
 package topo
 
-import "netfence/internal/defense"
+import (
+	"netfence/internal/defense"
+	"netfence/internal/packet"
+)
 
-// Deploy installs a defense system across the dumbbell: the bottleneck
-// link is protected, every access router polices, and every host gets the
-// system's shim. deny is the victim's receiver policy; senders and
-// colluders accept everyone.
-func (d *Dumbbell) Deploy(s defense.System, deny defense.Policy) {
-	s.ProtectLink(d.Bottleneck)
-	for _, ra := range d.SrcAccess {
-		s.ProtectAccess(ra)
+// Plan selects which ASes participate in a deployment — the paper's
+// partial/incremental-deployment axis. The zero value is full
+// deployment. Non-participating ("legacy") ASes keep forwarding traffic
+// but get no policing access routers and no host shims, so their
+// packets carry no congestion policing feedback and a NetFence
+// bottleneck demotes them to the best-effort legacy channel.
+type Plan struct {
+	// Legacy marks ASes that do NOT deploy the defense.
+	Legacy map[packet.ASID]bool
+}
+
+// Participates reports whether an AS deploys the defense under the plan.
+func (p Plan) Participates(as packet.ASID) bool { return !p.Legacy[as] }
+
+// Fraction reports the deployed fraction of the given source ASes under
+// the plan (1 when srcASes is empty).
+func (p Plan) Fraction(srcASes []packet.ASID) float64 {
+	if len(srcASes) == 0 {
+		return 1
 	}
-	s.ProtectAccess(d.VictimAccess)
-	for _, rc := range d.ColluderAccess {
-		s.ProtectAccess(rc)
+	n := 0
+	for _, as := range srcASes {
+		if p.Participates(as) {
+			n++
+		}
 	}
-	for _, h := range d.Senders {
-		s.AttachHost(h, defense.Policy{})
+	return float64(n) / float64(len(srcASes))
+}
+
+// PlanFraction returns a Plan deploying the defense on round(f·n) of the
+// n given source ASes. The participants are chosen at evenly spaced
+// indices (deterministically, no RNG), so participation interleaves with
+// AS declaration order instead of clustering on a prefix.
+func PlanFraction(srcASes []packet.ASID, f float64) Plan {
+	if f < 0 {
+		f = 0
 	}
-	s.AttachHost(d.Victim, deny)
-	for _, c := range d.Colluders {
-		s.AttachHost(c, defense.Policy{})
+	if f > 1 {
+		f = 1
+	}
+	n := len(srcASes)
+	m := int(f*float64(n) + 0.5)
+	legacy := map[packet.ASID]bool{}
+	for i, as := range srcASes {
+		// i is selected when the cumulative quota floor(k·m/n) advances.
+		if !(i*m/n < (i+1)*m/n) {
+			legacy[as] = true
+		}
+	}
+	return Plan{Legacy: legacy}
+}
+
+// Deploy installs a defense system across the graph under a deployment
+// plan: every bottleneck link is protected, then per group (in
+// declaration order) the participating access routers police and the
+// participating hosts get the system's shim. deny is each group victim's
+// receiver policy; senders and colluders accept everyone. Legacy ASes
+// are skipped entirely — their traffic crosses the network undefended.
+func (g *Graph) Deploy(s defense.System, deny defense.Policy, plan Plan) {
+	for _, l := range g.bottlenecks {
+		s.ProtectLink(l)
+	}
+	for i := range g.groups {
+		grp := &g.groups[i]
+		for _, r := range grp.Access {
+			if plan.Participates(r.AS) {
+				s.ProtectAccess(r)
+			}
+		}
+		for _, h := range grp.Senders {
+			if plan.Participates(h.AS) {
+				s.AttachHost(h, defense.Policy{})
+			}
+		}
+		if grp.Victim != nil && plan.Participates(grp.Victim.AS) {
+			s.AttachHost(grp.Victim, deny)
+		}
+		for _, c := range grp.Colluders {
+			if plan.Participates(c.AS) {
+				s.AttachHost(c, defense.Policy{})
+			}
+		}
 	}
 }
 
-// Deploy installs a defense system across the parking lot, protecting
-// both bottlenecks. deny is applied to every group's victim.
+// Deploy installs a defense system across the full dumbbell: the
+// bottleneck link is protected, every access router polices, and every
+// host gets the system's shim. deny is the victim's receiver policy;
+// senders and colluders accept everyone.
+func (d *Dumbbell) Deploy(s defense.System, deny defense.Policy) {
+	d.G.Deploy(s, deny, Plan{})
+}
+
+// DeployPlan installs a defense system across the dumbbell under a
+// partial-deployment plan.
+func (d *Dumbbell) DeployPlan(s defense.System, deny defense.Policy, plan Plan) {
+	d.G.Deploy(s, deny, plan)
+}
+
+// Deploy installs a defense system across the full parking lot,
+// protecting both bottlenecks. deny is applied to every group's victim.
 func (pl *ParkingLot) Deploy(s defense.System, deny defense.Policy) {
-	s.ProtectLink(pl.L1)
-	s.ProtectLink(pl.L2)
-	for g := range pl.Groups {
-		grp := &pl.Groups[g]
-		for _, ra := range grp.Access {
-			s.ProtectAccess(ra)
-		}
-		for _, h := range grp.Senders {
-			s.AttachHost(h, defense.Policy{})
-		}
-		s.AttachHost(grp.Victim, deny)
-		for _, c := range grp.Colluders {
-			s.AttachHost(c, defense.Policy{})
-		}
-	}
+	pl.G.Deploy(s, deny, Plan{})
+}
+
+// DeployPlan installs a defense system across the parking lot under a
+// partial-deployment plan.
+func (pl *ParkingLot) DeployPlan(s defense.System, deny defense.Policy, plan Plan) {
+	pl.G.Deploy(s, deny, plan)
 }

@@ -1,6 +1,9 @@
-// Package topo builds the evaluation topologies of §6.3: the dumbbell
-// used by the unwanted-traffic and single-bottleneck collusion
-// experiments, and the parking lot used by the multi-bottleneck study.
+// Package topo builds evaluation topologies as role-tagged Graphs: the
+// dumbbell of §6.3 (unwanted-traffic and single-bottleneck collusion
+// experiments), the parking lot of the multi-bottleneck study, a
+// star/single-AS hotspot, and a seeded random AS-level graph — plus a
+// registry so scenarios resolve topologies by name and third parties
+// can add their own (see Register).
 package topo
 
 import (
@@ -49,8 +52,11 @@ func DefaultDumbbell(senders int, bottleneckBps int64) DumbbellConfig {
 	}
 }
 
-// Dumbbell is the constructed topology.
+// Dumbbell is the constructed topology: a named-role view over its
+// underlying Graph.
 type Dumbbell struct {
+	// G is the underlying role-tagged graph (one sender group).
+	G   *Graph
 	Net *netsim.Network
 
 	// Senders lists every sender host, AS by AS.
@@ -75,59 +81,49 @@ type Dumbbell struct {
 
 // NewDumbbell builds the topology and computes routes.
 func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
-	n := netsim.New(eng)
-	d := &Dumbbell{Net: n}
+	g := NewGraph(eng)
+	d := &Dumbbell{G: g, Net: g.Net}
 
 	transitAS := packet.ASID(1000)
-	d.Rbl = n.NewNode("Rbl", transitAS)
-	d.Rbr = n.NewNode("Rbr", transitAS)
-	d.Bottleneck, d.Reverse = n.Connect(d.Rbl, d.Rbr, cfg.BottleneckBps, cfg.Delay)
+	d.Rbl = g.Router("Rbl", transitAS)
+	d.Rbr = g.Router("Rbr", transitAS)
+	d.Bottleneck, d.Reverse = g.BottleneckLink(d.Rbl, d.Rbr, cfg.BottleneckBps, cfg.Delay)
 
 	for i := 0; i < cfg.SrcASes; i++ {
 		as := packet.ASID(1 + i)
-		ra := n.NewNode(fmt.Sprintf("Ra%d", i), as)
+		ra := g.AccessRouter(0, fmt.Sprintf("Ra%d", i), as)
 		d.SrcAccess = append(d.SrcAccess, ra)
-		n.Connect(ra, d.Rbl, cfg.EdgeBps, cfg.Delay)
+		g.Link(ra, d.Rbl, cfg.EdgeBps, cfg.Delay)
 		for h := 0; h < cfg.HostsPerAS; h++ {
-			host := n.NewHost(fmt.Sprintf("s%d.%d", i, h), as)
-			n.Connect(host, ra, cfg.EdgeBps, cfg.Delay)
+			host := g.Sender(0, fmt.Sprintf("s%d.%d", i, h), as)
+			g.Link(host, ra, cfg.EdgeBps, cfg.Delay)
 			d.Senders = append(d.Senders, host)
 		}
 	}
 
 	victimAS := packet.ASID(2000)
-	d.VictimAccess = n.NewNode("Rv", victimAS)
-	n.Connect(d.Rbr, d.VictimAccess, cfg.EdgeBps, cfg.Delay)
-	d.Victim = n.NewHost("victim", victimAS)
-	n.Connect(d.VictimAccess, d.Victim, cfg.EdgeBps, cfg.Delay)
+	d.VictimAccess = g.AccessRouter(0, "Rv", victimAS)
+	g.Link(d.Rbr, d.VictimAccess, cfg.EdgeBps, cfg.Delay)
+	d.Victim = g.Victim(0, "victim", victimAS)
+	g.Link(d.VictimAccess, d.Victim, cfg.EdgeBps, cfg.Delay)
 
 	for i := 0; i < cfg.ColluderASes; i++ {
 		as := packet.ASID(3000 + i)
-		rc := n.NewNode(fmt.Sprintf("Rc%d", i), as)
+		rc := g.AccessRouter(0, fmt.Sprintf("Rc%d", i), as)
 		d.ColluderAccess = append(d.ColluderAccess, rc)
-		n.Connect(d.Rbr, rc, cfg.EdgeBps, cfg.Delay)
-		c := n.NewHost(fmt.Sprintf("c%d", i), as)
-		n.Connect(rc, c, cfg.EdgeBps, cfg.Delay)
+		g.Link(d.Rbr, rc, cfg.EdgeBps, cfg.Delay)
+		c := g.Colluder(0, fmt.Sprintf("c%d", i), as)
+		g.Link(rc, c, cfg.EdgeBps, cfg.Delay)
 		d.Colluders = append(d.Colluders, c)
 	}
 
-	n.ComputeRoutes()
+	g.Build()
 	return d
 }
 
 // AllASes returns every AS identifier in the topology, for Passport key
 // establishment.
-func (d *Dumbbell) AllASes() []packet.ASID {
-	seen := map[packet.ASID]bool{}
-	var out []packet.ASID
-	for _, nd := range d.Net.Nodes {
-		if !seen[nd.AS] {
-			seen[nd.AS] = true
-			out = append(out, nd.AS)
-		}
-	}
-	return out
-}
+func (d *Dumbbell) AllASes() []packet.ASID { return d.G.AllASes() }
 
 // ParkingLotConfig parameterizes the multi-bottleneck topology: a chain
 // R0 -L1-> R1 -L2-> R2 with three sender groups. Group A crosses both
@@ -170,6 +166,8 @@ type PLGroup struct {
 
 // ParkingLot is the constructed multi-bottleneck topology.
 type ParkingLot struct {
+	// G is the underlying role-tagged graph (three sender groups).
+	G          *Graph
 	Net        *netsim.Network
 	R0, R1, R2 *netsim.Node
 	L1, L2     *netsim.Link
@@ -180,46 +178,47 @@ type ParkingLot struct {
 
 // NewParkingLot builds the topology and computes routes.
 func NewParkingLot(eng *sim.Engine, cfg ParkingLotConfig) *ParkingLot {
-	n := netsim.New(eng)
-	pl := &ParkingLot{Net: n}
+	g := NewGraph(eng)
+	pl := &ParkingLot{G: g, Net: g.Net}
 	transitAS := packet.ASID(1000)
-	pl.R0 = n.NewNode("R0", transitAS)
-	pl.R1 = n.NewNode("R1", transitAS)
-	pl.R2 = n.NewNode("R2", transitAS)
-	pl.L1, _ = n.Connect(pl.R0, pl.R1, cfg.L1Bps, cfg.Delay)
-	pl.L2, _ = n.Connect(pl.R1, pl.R2, cfg.L2Bps, cfg.Delay)
+	pl.R0 = g.Router("R0", transitAS)
+	pl.R1 = g.Router("R1", transitAS)
+	pl.R2 = g.Router("R2", transitAS)
+	pl.L1, _ = g.BottleneckLink(pl.R0, pl.R1, cfg.L1Bps, cfg.Delay)
+	pl.L2, _ = g.BottleneckLink(pl.R1, pl.R2, cfg.L2Bps, cfg.Delay)
 
 	asCounter := packet.ASID(1)
-	buildGroup := func(g int, attach *netsim.Node, dstAttach *netsim.Node) {
-		grp := &pl.Groups[g]
+	buildGroup := func(gi int, attach *netsim.Node, dstAttach *netsim.Node) {
+		grp := &pl.Groups[gi]
 		perAS := cfg.SendersPerGroup / cfg.ASesPerGroup
 		for i := 0; i < cfg.ASesPerGroup; i++ {
 			as := asCounter
 			asCounter++
-			ra := n.NewNode(fmt.Sprintf("g%dRa%d", g, i), as)
+			ra := g.AccessRouter(gi, fmt.Sprintf("g%dRa%d", gi, i), as)
 			grp.Access = append(grp.Access, ra)
-			n.Connect(ra, attach, cfg.EdgeBps, cfg.Delay)
+			g.Link(ra, attach, cfg.EdgeBps, cfg.Delay)
 			for h := 0; h < perAS; h++ {
-				host := n.NewHost(fmt.Sprintf("g%ds%d.%d", g, i, h), as)
-				n.Connect(host, ra, cfg.EdgeBps, cfg.Delay)
+				host := g.Sender(gi, fmt.Sprintf("g%ds%d.%d", gi, i, h), as)
+				g.Link(host, ra, cfg.EdgeBps, cfg.Delay)
 				grp.Senders = append(grp.Senders, host)
 			}
 		}
-		// Victim AS.
+		// Victim AS. Its access router is deliberately a plain router —
+		// the parking-lot experiments police only the source side.
 		vas := asCounter
 		asCounter++
-		rv := n.NewNode(fmt.Sprintf("g%dRv", g), vas)
-		n.Connect(dstAttach, rv, cfg.EdgeBps, cfg.Delay)
-		grp.Victim = n.NewHost(fmt.Sprintf("g%dvictim", g), vas)
-		n.Connect(rv, grp.Victim, cfg.EdgeBps, cfg.Delay)
+		rv := g.Router(fmt.Sprintf("g%dRv", gi), vas)
+		g.Link(dstAttach, rv, cfg.EdgeBps, cfg.Delay)
+		grp.Victim = g.Victim(gi, fmt.Sprintf("g%dvictim", gi), vas)
+		g.Link(rv, grp.Victim, cfg.EdgeBps, cfg.Delay)
 		// Colluder ASes.
 		for i := 0; i < cfg.ColluderASesPerGroup; i++ {
 			cas := asCounter
 			asCounter++
-			rc := n.NewNode(fmt.Sprintf("g%dRc%d", g, i), cas)
-			n.Connect(dstAttach, rc, cfg.EdgeBps, cfg.Delay)
-			c := n.NewHost(fmt.Sprintf("g%dc%d", g, i), cas)
-			n.Connect(rc, c, cfg.EdgeBps, cfg.Delay)
+			rc := g.Router(fmt.Sprintf("g%dRc%d", gi, i), cas)
+			g.Link(dstAttach, rc, cfg.EdgeBps, cfg.Delay)
+			c := g.Colluder(gi, fmt.Sprintf("g%dc%d", gi, i), cas)
+			g.Link(rc, c, cfg.EdgeBps, cfg.Delay)
 			grp.Colluders = append(grp.Colluders, c)
 		}
 	}
@@ -227,19 +226,9 @@ func NewParkingLot(eng *sim.Engine, cfg ParkingLotConfig) *ParkingLot {
 	buildGroup(1, pl.R1, pl.R2) // B: enters at R1, exits at R2 (L2)
 	buildGroup(2, pl.R0, pl.R1) // C: enters at R0, exits at R1 (L1)
 
-	n.ComputeRoutes()
+	g.Build()
 	return pl
 }
 
 // AllASes returns every AS identifier in the topology.
-func (pl *ParkingLot) AllASes() []packet.ASID {
-	seen := map[packet.ASID]bool{}
-	var out []packet.ASID
-	for _, nd := range pl.Net.Nodes {
-		if !seen[nd.AS] {
-			seen[nd.AS] = true
-			out = append(out, nd.AS)
-		}
-	}
-	return out
-}
+func (pl *ParkingLot) AllASes() []packet.ASID { return pl.G.AllASes() }

@@ -3,6 +3,8 @@ package topo
 import (
 	"testing"
 
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
 	"netfence/internal/sim"
 )
 
@@ -116,4 +118,237 @@ func TestParkingLotGroupSizes(t *testing.T) {
 	if pl.L1.Rate != 10_000_000 || pl.L2.Rate != 20_000_000 {
 		t.Fatal("bottleneck rates wrong")
 	}
+}
+
+func TestGraphRoles(t *testing.T) {
+	eng := sim.New(1)
+	cfg := DefaultDumbbell(40, 10_000_000)
+	cfg.ColluderASes = 3
+	d := NewDumbbell(eng, cfg)
+	g := d.G
+	if len(g.Bottlenecks()) != 1 || g.Bottlenecks()[0] != d.Bottleneck {
+		t.Fatalf("bottleneck role lost: %v", g.Bottlenecks())
+	}
+	grps := g.Groups()
+	if len(grps) != 1 {
+		t.Fatalf("groups = %d", len(grps))
+	}
+	if len(grps[0].Senders) != 40 || grps[0].Victim != d.Victim || len(grps[0].Colluders) != 3 {
+		t.Fatal("group roles do not match the dumbbell fields")
+	}
+	// Source ASes: the 10 sender ASes, not transit/victim/colluder ASes.
+	src := g.SourceASes()
+	if len(src) != 10 {
+		t.Fatalf("source ASes = %d, want 10", len(src))
+	}
+	for _, as := range src {
+		if as >= 1000 {
+			t.Fatalf("non-source AS %d listed as source", as)
+		}
+	}
+	// Parking lot: three groups, 15 source ASes.
+	pl := NewParkingLot(sim.New(1), DefaultParkingLot(30, 10_000_000, 10_000_000))
+	if n := len(pl.G.Groups()); n != 3 {
+		t.Fatalf("parking-lot groups = %d", n)
+	}
+	if n := len(pl.G.SourceASes()); n != 15 {
+		t.Fatalf("parking-lot source ASes = %d, want 15", n)
+	}
+	if n := len(pl.G.Bottlenecks()); n != 2 {
+		t.Fatalf("parking-lot bottlenecks = %d", n)
+	}
+}
+
+func TestPlanFraction(t *testing.T) {
+	src := make([]packet.ASID, 10)
+	for i := range src {
+		src[i] = packet.ASID(i + 1)
+	}
+	for _, tc := range []struct {
+		f    float64
+		want int
+	}{{0, 0}, {0.25, 3}, {0.5, 5}, {0.75, 8}, {1, 10}} {
+		p := PlanFraction(src, tc.f)
+		n := 0
+		for _, as := range src {
+			if p.Participates(as) {
+				n++
+			}
+		}
+		if n != tc.want {
+			t.Fatalf("f=%v deployed %d ASes, want %d", tc.f, n, tc.want)
+		}
+		if got := p.Fraction(src); got != float64(tc.want)/10 {
+			t.Fatalf("f=%v Fraction() = %v", tc.f, got)
+		}
+	}
+	// Selection is spread, not a prefix: at 50% the participants must
+	// not all be in the first half.
+	p := PlanFraction(src, 0.5)
+	firstHalf := 0
+	for _, as := range src[:5] {
+		if p.Participates(as) {
+			firstHalf++
+		}
+	}
+	if firstHalf == 5 {
+		t.Fatal("fraction selection clustered on a prefix")
+	}
+	// Out-of-range fractions clamp.
+	if n := len(PlanFraction(src, 7).Legacy); n != 0 {
+		t.Fatalf("f>1 left %d legacy ASes", n)
+	}
+	// The zero Plan participates everywhere.
+	if !(Plan{}).Participates(42) {
+		t.Fatal("zero plan excluded an AS")
+	}
+}
+
+func TestStarStructure(t *testing.T) {
+	eng := sim.New(1)
+	cfg := DefaultStar(8, 1_600_000)
+	cfg.ColluderASes = 2
+	st := NewStar(eng, cfg)
+	if len(st.Senders) != 8 || len(st.Colluders) != 2 {
+		t.Fatalf("senders=%d colluders=%d", len(st.Senders), len(st.Colluders))
+	}
+	// Single source AS: all senders share it and the one access router.
+	if n := len(st.G.SourceASes()); n != 1 {
+		t.Fatalf("source ASes = %d, want 1", n)
+	}
+	// Victim- and colluder-bound paths cross the bottleneck.
+	for _, dst := range append([]*netsim.Node{st.Victim}, st.Colluders...) {
+		path := st.Net.PathLinks(st.Senders[0].ID, dst.ID)
+		found := false
+		for _, l := range path {
+			if l == st.Bottleneck {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path to %v misses the bottleneck", dst)
+		}
+	}
+}
+
+func TestRandomASStructure(t *testing.T) {
+	eng := sim.New(1)
+	cfg := DefaultRandomAS(20, 4_000_000)
+	cfg.TransitASes = 6
+	cfg.ExtraLinks = 3
+	cfg.ColluderASes = 2
+	cfg.GraphSeed = 42
+	r, err := NewRandomAS(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Senders) != 20 {
+		t.Fatalf("senders = %d", len(r.Senders))
+	}
+	if len(r.Transit) != 6 {
+		t.Fatalf("transit = %d", len(r.Transit))
+	}
+	// ExtraLinks is exact: tree (5) + 3 extra core edges, duplex.
+	isTransit := map[*netsim.Node]bool{}
+	for _, tn := range r.Transit {
+		isTransit[tn] = true
+	}
+	core := 0
+	for _, l := range r.Net.Links {
+		if isTransit[l.From] && isTransit[l.To] {
+			core++
+		}
+	}
+	if core != 2*(5+3) {
+		t.Fatalf("core links = %d, want %d (5 tree + 3 extra, duplex)", core, 2*(5+3))
+	}
+	// Every victim- and colluder-bound path crosses the bottleneck exit.
+	for _, s := range r.Senders {
+		for _, dst := range append([]*netsim.Node{r.Victim}, r.Colluders...) {
+			path := r.Net.PathLinks(s.ID, dst.ID)
+			if path == nil {
+				t.Fatalf("no route %v -> %v", s, dst)
+			}
+			found := false
+			for _, l := range path {
+				if l == r.Bottleneck {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("path %v -> %v misses the bottleneck", s, dst)
+			}
+		}
+	}
+	// Same GraphSeed, same wiring; a different seed changes it (the
+	// builder draws structure from GraphSeed, not the engine seed).
+	b, _ := NewRandomAS(sim.New(99), cfg)
+	if len(b.Net.Links) != len(r.Net.Links) {
+		t.Fatal("wiring depends on the engine seed")
+	}
+	sig := func(x *RandomAS) string {
+		s := ""
+		for _, l := range x.Net.Links {
+			s += l.From.Name + ">" + l.To.Name + ";"
+		}
+		return s
+	}
+	if sig(b) != sig(r) {
+		t.Fatal("same GraphSeed produced different wiring")
+	}
+	cfg2 := cfg
+	cfg2.GraphSeed = 43
+	c, _ := NewRandomAS(sim.New(1), cfg2)
+	if sig(c) == sig(r) {
+		t.Fatal("different GraphSeed produced identical wiring (suspicious)")
+	}
+	if _, err := NewRandomAS(sim.New(1), RandomASConfig{}); err == nil {
+		t.Fatal("zero-sender random graph accepted")
+	}
+}
+
+func TestTopologyRegistryInternal(t *testing.T) {
+	for _, want := range []string{"dumbbell", "parkinglot", "star", "random-as"} {
+		found := false
+		for _, n := range Names() {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry missing %q (have %v)", want, Names())
+		}
+	}
+	// Population override reaches the builders.
+	g, err := Build("dumbbell", sim.New(1), BuildOptions{Population: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Groups()[0].Senders); n != 30 {
+		t.Fatalf("dumbbell population override: %d senders", n)
+	}
+	// Case-insensitive resolution.
+	if _, err := Build(" Star ", sim.New(1), BuildOptions{}); err != nil {
+		t.Fatalf("canonicalization failed: %v", err)
+	}
+	// Config type mismatches are rejected.
+	if _, err := Build("star", sim.New(1), BuildOptions{Config: DumbbellConfig{}}); err == nil {
+		t.Fatal("star accepted a DumbbellConfig")
+	}
+	// Unknown names list the registry.
+	if _, err := Build("nope", sim.New(1), BuildOptions{}); err == nil {
+		t.Fatal("unknown topology resolved")
+	}
+	// Duplicate and invalid registrations panic.
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { Register("dumbbell", buildDumbbellGraph) })
+	mustPanic("empty name", func() { Register("", buildDumbbellGraph) })
+	mustPanic("nil builder", func() { Register("x-nil", nil) })
 }

@@ -75,6 +75,8 @@ type (
 	Packet = packet.Packet
 	// NodeID addresses a node.
 	NodeID = packet.NodeID
+	// ASID identifies an autonomous system.
+	ASID = packet.ASID
 	// FlowID identifies a transport connection.
 	FlowID = packet.FlowID
 )
@@ -101,7 +103,8 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // NewSystem creates a NetFence deployment over net.
 func NewSystem(net *Network, cfg Config) *System { return core.NewSystem(net, cfg) }
 
-// Topologies.
+// Topologies. The role-tagged Graph underneath them (and the topology
+// registry resolving them by name) is exported in topology.go.
 type (
 	// Dumbbell is the §6.3.1 evaluation topology.
 	Dumbbell = topo.Dumbbell
@@ -111,6 +114,17 @@ type (
 	ParkingLot = topo.ParkingLot
 	// ParkingLotConfig parameterizes it.
 	ParkingLotConfig = topo.ParkingLotConfig
+	// Star is the single-AS hotspot topology.
+	Star = topo.Star
+	// StarConfig parameterizes it.
+	StarConfig = topo.StarConfig
+	// RandomAS is the seeded random AS-level topology.
+	RandomAS = topo.RandomAS
+	// RandomASConfig parameterizes it.
+	RandomASConfig = topo.RandomASConfig
+	// DeployPlan selects the ASes participating in a deployment (the
+	// compiled form of a scenario's Deployment).
+	DeployPlan = topo.Plan
 )
 
 // DefaultDumbbell mirrors the paper's dumbbell at a given population and
@@ -132,6 +146,32 @@ func NewParkingLot(eng *Engine, cfg ParkingLotConfig) *ParkingLot {
 	return topo.NewParkingLot(eng, cfg)
 }
 
+// NewStar builds the single-AS hotspot topology.
+func NewStar(eng *Engine, cfg StarConfig) *Star { return topo.NewStar(eng, cfg) }
+
+// DefaultStar mirrors the dumbbell's parameters at a given population.
+func DefaultStar(senders int, bottleneckBps int64) StarConfig {
+	return topo.DefaultStar(senders, bottleneckBps)
+}
+
+// NewRandomAS builds a seeded random AS-level topology.
+func NewRandomAS(eng *Engine, cfg RandomASConfig) (*RandomAS, error) {
+	return topo.NewRandomAS(eng, cfg)
+}
+
+// DefaultRandomAS mirrors the dumbbell's parameters over a 4-router
+// random core.
+func DefaultRandomAS(senders int, bottleneckBps int64) RandomASConfig {
+	return topo.DefaultRandomAS(senders, bottleneckBps)
+}
+
+// PlanFraction compiles a deployment fraction over source ASes into a
+// DeployPlan — the helper behind DeployFraction for code deploying onto
+// a Graph manually.
+func PlanFraction(srcASes []ASID, f float64) DeployPlan {
+	return topo.PlanFraction(srcASes, f)
+}
+
 // DeployDumbbell installs a defense system across a dumbbell: bottleneck
 // protected, access routers policing, hosts shimmed; deny is the victim's
 // receiver policy.
@@ -143,6 +183,12 @@ func DeployDumbbell(d *Dumbbell, s DefenseSystem, deny Policy) {
 // protecting both bottlenecks; deny is applied to every group's victim.
 func DeployParkingLot(pl *ParkingLot, s DefenseSystem, deny Policy) {
 	pl.Deploy(s, deny)
+}
+
+// DeployGraph installs a defense system across any role-tagged Graph
+// under a partial-deployment plan (the zero Plan deploys everywhere).
+func DeployGraph(g *Graph, s DefenseSystem, deny Policy, plan DeployPlan) {
+	g.Deploy(s, deny, plan)
 }
 
 // Transports and workloads.

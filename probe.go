@@ -20,9 +20,16 @@ type Probe interface {
 type Result struct {
 	Scenario string
 	Defense  string
+	// Topology is the registry-style name of the scenario's topology
+	// ("dumbbell", "parkinglot", "star", "random-as", ...), so sweep
+	// output is self-describing.
+	Topology string
 	Seed     uint64
 	// Senders is the topology's total sender population.
-	Senders                int
+	Senders int
+	// Deployed is the effective fraction of source ASes running the
+	// defense (1 = full deployment).
+	Deployed               float64
 	DurationSec, WarmupSec float64
 
 	// GoodputProbe: mean post-warmup goodput of user and attacker
@@ -66,7 +73,15 @@ type Sample struct {
 // String renders the one-line summary of a result.
 func (r *Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s [%s seed=%d n=%d]", r.Scenario, r.Defense, r.Seed, r.Senders)
+	fmt.Fprintf(&b, "%s [%s", r.Scenario, r.Defense)
+	if r.Topology != "" {
+		fmt.Fprintf(&b, " %s", r.Topology)
+	}
+	fmt.Fprintf(&b, " seed=%d n=%d", r.Seed, r.Senders)
+	if r.Deployed < 1 {
+		fmt.Fprintf(&b, " deploy=%.0f%%", 100*r.Deployed)
+	}
+	b.WriteString("]")
 	if r.UserBps > 0 || r.AttackerBps > 0 {
 		fmt.Fprintf(&b, " user=%.0fkbps attacker=%.0fkbps ratio=%.2f jain=%.2f util=%.0f%%",
 			r.UserBps/1000, r.AttackerBps/1000, r.Ratio, r.Jain, 100*r.Utilization)
@@ -81,7 +96,7 @@ func (r *Result) String() string {
 // FormatResults renders a result set as an aligned table — the unified
 // output of RunAll and Sweep.Run.
 func FormatResults(results []*Result) string {
-	cols := []string{"scenario", "defense", "seed", "senders",
+	cols := []string{"scenario", "defense", "topo", "seed", "senders", "deploy",
 		"user kbps", "atk kbps", "ratio", "jain", "util", "fct(s)", "compl"}
 	rows := [][]string{}
 	for _, r := range results {
@@ -93,9 +108,14 @@ func FormatResults(results []*Result) string {
 			fctMean = fmt.Sprintf("%.2f", r.FCT.MeanSec)
 			compl = fmt.Sprintf("%.0f%%", 100*r.FCT.Completion)
 		}
+		topoName := r.Topology
+		if topoName == "" {
+			topoName = "-"
+		}
 		rows = append(rows, []string{
-			r.Scenario, r.Defense,
+			r.Scenario, r.Defense, topoName,
 			fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%d", r.Senders),
+			fmt.Sprintf("%.0f%%", 100*r.Deployed),
 			fmt.Sprintf("%.0f", r.UserBps/1000), fmt.Sprintf("%.0f", r.AttackerBps/1000),
 			fmt.Sprintf("%.2f", r.Ratio), fmt.Sprintf("%.2f", r.Jain),
 			fmt.Sprintf("%.0f%%", 100*r.Utilization), fctMean, compl,

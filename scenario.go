@@ -12,15 +12,17 @@ import (
 	"netfence/internal/netsim"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
-	"netfence/internal/topo"
 	"netfence/internal/transport"
 )
 
-// Scenario is the declarative description of one simulation: a topology,
-// a defense system resolved by name from the pluggable registry, a set of
-// workloads and attacks, and the probes that measure the outcome. Zero
-// manual wiring — Run builds the engine and network, deploys the defense,
-// attaches every transport, drives the simulation and samples the probes:
+// Scenario is the declarative description of one simulation: a topology
+// resolved from the topology registry (or declared inline), a defense
+// system resolved by name from the pluggable defense registry, a
+// deployment plan saying which ASes actually run it, a set of workloads
+// and attacks, and the probes that measure the outcome. Zero manual
+// wiring — Run builds the engine and network, deploys the defense,
+// attaches every transport, drives the simulation and samples the
+// probes:
 //
 //	sc := netfence.Scenario{
 //		Seed:     42,
@@ -38,10 +40,15 @@ type Scenario struct {
 	Name string
 	// Seed feeds the deterministic simulation RNG.
 	Seed uint64
-	// Topology declares the network: DumbbellSpec or ParkingLotSpec.
+	// Topology declares the network: DumbbellSpec, ParkingLotSpec,
+	// StarSpec, RandomASSpec, or Topology("name") for any registered
+	// topology.
 	Topology TopologySpec
 	// Defense names the deployed system; the zero value means "netfence".
 	Defense DefenseSpec
+	// Deployment selects which source ASes run the defense; the zero
+	// value deploys everywhere. See DeployFraction and DeployMap.
+	Deployment Deployment
 	// Workloads attach traffic; see Workload.
 	Workloads []Workload
 	// Probes measure the run; nil selects GoodputProbe, FairnessProbe
@@ -89,200 +96,6 @@ func NewDefense(name string, net *Network, cfg any) (DefenseSystem, error) {
 	return defense.Build(name, net, defense.BuildOptions{Config: cfg})
 }
 
-// TopologySpec declares a scenario's network. DumbbellSpec and
-// ParkingLotSpec implement it.
-type TopologySpec interface {
-	buildTopo(eng *sim.Engine) (*builtTopo, error)
-	// withPopulation returns a copy at a different sender population —
-	// the Sweep runner's population axis.
-	withPopulation(n int) TopologySpec
-	population() int
-}
-
-// DumbbellSpec declares the §6.3.1 dumbbell: sender ASes through one
-// bottleneck to a victim AS, plus optional colluder ASes.
-type DumbbellSpec struct {
-	// Senders is the total sender-host population.
-	Senders int
-	// BottleneckBps is the bottleneck capacity.
-	BottleneckBps int64
-	// ColluderASes adds right-side ASes with one colluder host each.
-	ColluderASes int
-	// SrcASes overrides the source-AS count (0 = min(10, Senders)).
-	SrcASes int
-	// EdgeBps overrides the non-bottleneck capacity (0 = 10 Gbps).
-	EdgeBps int64
-	// Delay overrides the per-link propagation delay (0 = 10 ms).
-	Delay Time
-}
-
-func (s DumbbellSpec) population() int { return s.Senders }
-
-func (s DumbbellSpec) withPopulation(n int) TopologySpec {
-	s.Senders = n
-	return s
-}
-
-func (s DumbbellSpec) buildTopo(eng *sim.Engine) (*builtTopo, error) {
-	if s.Senders <= 0 {
-		return nil, fmt.Errorf("DumbbellSpec: Senders must be positive")
-	}
-	if s.BottleneckBps <= 0 {
-		return nil, fmt.Errorf("DumbbellSpec: BottleneckBps must be positive")
-	}
-	cfg := topo.DefaultDumbbell(s.Senders, s.BottleneckBps)
-	cfg.ColluderASes = s.ColluderASes
-	if s.SrcASes > 0 {
-		if s.Senders%s.SrcASes != 0 {
-			return nil, fmt.Errorf("DumbbellSpec: %d senders do not split evenly over %d ASes", s.Senders, s.SrcASes)
-		}
-		cfg.SrcASes = s.SrcASes
-		cfg.HostsPerAS = s.Senders / s.SrcASes
-	} else if cfg.SrcASes*cfg.HostsPerAS != s.Senders {
-		// DefaultDumbbell truncates to a multiple of its AS count; the
-		// declared population is a contract here, so fall back to the
-		// largest AS count that divides it exactly.
-		cfg.SrcASes = largestDivisor(s.Senders, cfg.SrcASes)
-		cfg.HostsPerAS = s.Senders / cfg.SrcASes
-	}
-	if s.EdgeBps > 0 {
-		cfg.EdgeBps = s.EdgeBps
-	}
-	if s.Delay > 0 {
-		cfg.Delay = s.Delay
-	}
-	d := topo.NewDumbbell(eng, cfg)
-	return &builtTopo{
-		net:         d.Net,
-		dumbbell:    d,
-		bottlenecks: []*netsim.Link{d.Bottleneck},
-		groups: []roleGroup{{
-			senders:   d.Senders,
-			victim:    d.Victim,
-			colluders: d.Colluders,
-		}},
-		deploy: d.Deploy,
-	}, nil
-}
-
-// ParkingLotSpec declares the §6.3.2 multi-bottleneck parking lot: a
-// chain of two bottlenecks with three sender groups. Group 0 crosses
-// both, group 1 only the second, group 2 only the first; each group has
-// its own victim and colluders.
-type ParkingLotSpec struct {
-	// SendersPerGroup is the host population of each group.
-	SendersPerGroup int
-	// L1Bps and L2Bps are the two bottleneck capacities.
-	L1Bps, L2Bps int64
-	// ASesPerGroup splits each group over this many ASes (0 = 5, clamped
-	// to the group population).
-	ASesPerGroup int
-	// ColluderASesPerGroup overrides the colluder count (0 = 3).
-	ColluderASesPerGroup int
-	Delay                Time
-
-	// declaredPopulation records a Sweep population-axis request; the
-	// declared population is a contract, so buildTopo rejects values
-	// that do not split into three equal groups.
-	declaredPopulation int
-}
-
-func (s ParkingLotSpec) population() int {
-	if s.declaredPopulation > 0 {
-		return s.declaredPopulation
-	}
-	return 3 * s.SendersPerGroup
-}
-
-func (s ParkingLotSpec) withPopulation(n int) TopologySpec {
-	s.SendersPerGroup = n / 3
-	s.declaredPopulation = n
-	return s
-}
-
-func (s ParkingLotSpec) buildTopo(eng *sim.Engine) (*builtTopo, error) {
-	if s.declaredPopulation > 0 && s.declaredPopulation != 3*s.SendersPerGroup {
-		return nil, fmt.Errorf("ParkingLotSpec: population %d does not split into 3 equal groups", s.declaredPopulation)
-	}
-	if s.SendersPerGroup <= 0 {
-		return nil, fmt.Errorf("ParkingLotSpec: SendersPerGroup must be positive")
-	}
-	if s.L1Bps <= 0 || s.L2Bps <= 0 {
-		return nil, fmt.Errorf("ParkingLotSpec: L1Bps and L2Bps must be positive")
-	}
-	cfg := topo.DefaultParkingLot(s.SendersPerGroup, s.L1Bps, s.L2Bps)
-	if s.ASesPerGroup > 0 {
-		if s.SendersPerGroup%s.ASesPerGroup != 0 {
-			return nil, fmt.Errorf("ParkingLotSpec: %d senders per group do not split evenly over %d ASes", s.SendersPerGroup, s.ASesPerGroup)
-		}
-		cfg.ASesPerGroup = s.ASesPerGroup
-	} else {
-		// The declared group population is a contract: pick the largest
-		// AS count that divides it exactly.
-		cfg.ASesPerGroup = largestDivisor(s.SendersPerGroup, cfg.ASesPerGroup)
-	}
-	if s.ColluderASesPerGroup > 0 {
-		cfg.ColluderASesPerGroup = s.ColluderASesPerGroup
-	}
-	if s.Delay > 0 {
-		cfg.Delay = s.Delay
-	}
-	pl := topo.NewParkingLot(eng, cfg)
-	bt := &builtTopo{
-		net:         pl.Net,
-		parkingLot:  pl,
-		bottlenecks: []*netsim.Link{pl.L1, pl.L2},
-		deploy:      pl.Deploy,
-	}
-	for g := range pl.Groups {
-		grp := &pl.Groups[g]
-		bt.groups = append(bt.groups, roleGroup{
-			senders:   grp.Senders,
-			victim:    grp.Victim,
-			colluders: grp.Colluders,
-		})
-	}
-	return bt, nil
-}
-
-// largestDivisor returns the largest k <= max (and >= 1) dividing n.
-func largestDivisor(n, max int) int {
-	if max > n {
-		max = n
-	}
-	for k := max; k > 1; k-- {
-		if n%k == 0 {
-			return k
-		}
-	}
-	return 1
-}
-
-// builtTopo is a constructed topology reduced to the role view the
-// workloads and probes operate on.
-type builtTopo struct {
-	net         *netsim.Network
-	dumbbell    *topo.Dumbbell
-	parkingLot  *topo.ParkingLot
-	bottlenecks []*netsim.Link
-	groups      []roleGroup
-	deploy      func(s defense.System, deny defense.Policy)
-}
-
-// roleGroup is one sender group with its destinations.
-type roleGroup struct {
-	senders   []*netsim.Node
-	victim    *netsim.Node
-	colluders []*netsim.Node
-}
-
-func (g *roleGroup) sender(idx int, kind string) (*netsim.Node, error) {
-	if idx < 0 || idx >= len(g.senders) {
-		return nil, fmt.Errorf("%s: sender index %d out of range (topology has %d)", kind, idx, len(g.senders))
-	}
-	return g.senders[idx], nil
-}
-
 // goodputMeter tracks one sender's delivered bytes for the probes.
 type goodputMeter struct {
 	group, sender int
@@ -306,14 +119,17 @@ type scenarioEnv struct {
 	denySet  map[packet.NodeID]bool
 	stoppers []interface{ Stop() }
 
+	// deployed is the effective deployed fraction of source ASes.
+	deployed float64
+
 	// listeners and srcCounters implement the per-group victim TCP
 	// listener with per-source goodput attribution (web and file
 	// workloads open fresh flows per transfer).
 	listeners   map[int]bool
 	srcCounters map[int]map[packet.NodeID]*int64
 
-	// nfBottleneck is the NetFence bottleneck state of a dumbbell
-	// deployment, for monitoring-cycle samples; nil otherwise.
+	// nfBottleneck is the NetFence state of the first protected
+	// bottleneck, for monitoring-cycle samples; nil otherwise.
 	nfBottleneck *core.Bottleneck
 
 	duration, warmup Time
@@ -393,6 +209,8 @@ type Instance struct {
 	Eng      *Engine
 	Net      *Network
 	System   DefenseSystem
+	// Graph is the constructed role-tagged topology.
+	Graph *Graph
 	// Dumbbell is the constructed topology for DumbbellSpec scenarios;
 	// ParkingLot for ParkingLotSpec scenarios. The other is nil.
 	Dumbbell   *Dumbbell
@@ -431,6 +249,10 @@ func (s Scenario) Build() (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	plan, deployed, err := s.Deployment.plan(bt.graph.SourceASes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 
 	env := &scenarioEnv{
 		sc:          &s,
@@ -440,6 +262,7 @@ func (s Scenario) Build() (*Instance, error) {
 		builtTopo:   bt,
 		fct:         &metrics.FCT{},
 		denySet:     map[packet.NodeID]bool{},
+		deployed:    deployed,
 		listeners:   map[int]bool{},
 		srcCounters: map[int]map[packet.NodeID]*int64{},
 		duration:    s.Duration,
@@ -452,10 +275,10 @@ func (s Scenario) Build() (*Instance, error) {
 	if s.DenyAttackers {
 		deny.Deny = func(src packet.NodeID) bool { return env.denySet[src] }
 	}
-	bt.deploy(system, deny)
+	bt.graph.Deploy(system, deny, plan)
 
-	if cs, ok := system.(*core.System); ok && bt.dumbbell != nil {
-		env.nfBottleneck = cs.Bottleneck(bt.dumbbell.Bottleneck)
+	if cs, ok := system.(*core.System); ok && len(bt.bottlenecks) > 0 {
+		env.nfBottleneck = cs.Bottleneck(bt.bottlenecks[0])
 	}
 
 	for _, w := range s.Workloads {
@@ -480,6 +303,7 @@ func (s Scenario) Build() (*Instance, error) {
 		Eng:        eng,
 		Net:        bt.net,
 		System:     system,
+		Graph:      bt.graph,
 		Dumbbell:   bt.dumbbell,
 		ParkingLot: bt.parkingLot,
 		env:        env,
@@ -497,8 +321,10 @@ func (in *Instance) Run() *Result {
 	res := &Result{
 		Scenario:    in.Scenario.Name,
 		Defense:     in.System.Name(),
+		Topology:    in.env.builtTopo.name,
 		Seed:        in.Scenario.Seed,
-		Senders:     in.Scenario.Topology.population(),
+		Senders:     in.env.builtTopo.senderCount(),
+		Deployed:    in.env.deployed,
 		DurationSec: in.Scenario.Duration.Seconds(),
 		WarmupSec:   in.Scenario.Warmup.Seconds(),
 	}

@@ -9,12 +9,12 @@ import (
 	"netfence/internal/defense"
 )
 
-// Sweep fans a scenario matrix — defenses × populations × seeds — across
-// goroutines, one engine per scenario, and returns a unified result set.
-// Results are deterministic: the matrix expands in a fixed order, every
-// scenario runs on its own seeded engine, and results land in matrix
-// order regardless of worker count, so the same sweep always produces an
-// identical []*Result.
+// Sweep fans a scenario matrix — defenses × populations × deployment
+// fractions × seeds — across goroutines, one engine per scenario, and
+// returns a unified result set. Results are deterministic: the matrix
+// expands in a fixed order, every scenario runs on its own seeded
+// engine, and results land in matrix order regardless of worker count,
+// so the same sweep always produces an identical []*Result.
 //
 //	results, err := netfence.Sweep{
 //		Base:     base,
@@ -37,6 +37,11 @@ type Sweep struct {
 	// scale role splits (user/attacker index lists) with the population.
 	// Defense, seed and name are still applied per cell on top.
 	BaseFor func(population int) Scenario
+	// DeployFractions lists partial-deployment fractions to sweep: each
+	// cell deploys the defense on that fraction of source ASes via
+	// DeployFraction (nil = just Base's Deployment). The incremental-
+	// deployment axis of the paper's "inside out" story.
+	DeployFractions []float64
 	// Seeds lists RNG seeds to sweep (nil = just Base's).
 	Seeds []uint64
 	// Parallelism caps concurrent scenarios (0 = GOMAXPROCS).
@@ -44,7 +49,7 @@ type Sweep struct {
 }
 
 // Scenarios expands the matrix in its deterministic order:
-// defense-major, then population, then seed.
+// defense-major, then population, then deployment fraction, then seed.
 func (sw Sweep) Scenarios() []Scenario {
 	defenses := sw.Defenses
 	if len(defenses) == 0 {
@@ -64,6 +69,13 @@ func (sw Sweep) Scenarios() []Scenario {
 			pops = []int{0} // keep the base topology
 		}
 	}
+	// The deployment axis keeps cell names stable when unused: a nil
+	// axis reuses Base's Deployment and adds no name segment.
+	deploys := sw.DeployFractions
+	sweepDeploy := len(deploys) > 0
+	if !sweepDeploy {
+		deploys = []float64{-1}
+	}
 	seeds := sw.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{sw.Base.Seed}
@@ -80,37 +92,49 @@ func (sw Sweep) Scenarios() []Scenario {
 	var out []Scenario
 	for _, d := range defenses {
 		for _, pop := range pops {
-			for _, seed := range seeds {
-				sc := sw.Base
-				if pop > 0 {
-					if sw.BaseFor != nil {
-						sc = sw.BaseFor(pop)
-					} else if sc.Topology != nil {
-						sc.Topology = sc.Topology.withPopulation(pop)
+			for _, dep := range deploys {
+				for _, seed := range seeds {
+					sc := sw.Base
+					if pop > 0 {
+						if sw.BaseFor != nil {
+							sc = sw.BaseFor(pop)
+						} else if sc.Topology != nil {
+							sc.Topology = sc.Topology.withPopulation(pop)
+						}
 					}
+					// A system-specific config only survives onto its own
+					// system; other cells fall back to defaults. The cell's
+					// scenario (Base or BaseFor's output) owns the config.
+					cellDefense := defense.Canonical(sc.Defense.Name)
+					if cellDefense == "" {
+						cellDefense = baseDefense
+					}
+					cellConfig := sc.Defense.Config
+					if cellConfig == nil && cellDefense == baseDefense {
+						cellConfig = sw.Base.Defense.Config
+					}
+					sc.Defense = DefenseSpec{Name: d}
+					if defense.Canonical(d) == cellDefense {
+						sc.Defense.Config = cellConfig
+					}
+					sc.Seed = seed
+					// A registry-resolved spec on its builder default has
+					// no declared population; omit the segment rather
+					// than reporting a misleading n=0.
+					popSeg := ""
+					if sc.Topology != nil {
+						if n := sc.Topology.population(); n > 0 {
+							popSeg = fmt.Sprintf("/n=%d", n)
+						}
+					}
+					deploySeg := ""
+					if sweepDeploy {
+						sc.Deployment = DeployFraction(dep)
+						deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
+					}
+					sc.Name = fmt.Sprintf("%s/%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, seed)
+					out = append(out, sc)
 				}
-				// A system-specific config only survives onto its own
-				// system; other cells fall back to defaults. The cell's
-				// scenario (Base or BaseFor's output) owns the config.
-				cellDefense := defense.Canonical(sc.Defense.Name)
-				if cellDefense == "" {
-					cellDefense = baseDefense
-				}
-				cellConfig := sc.Defense.Config
-				if cellConfig == nil && cellDefense == baseDefense {
-					cellConfig = sw.Base.Defense.Config
-				}
-				sc.Defense = DefenseSpec{Name: d}
-				if defense.Canonical(d) == cellDefense {
-					sc.Defense.Config = cellConfig
-				}
-				sc.Seed = seed
-				n := 0
-				if sc.Topology != nil {
-					n = sc.Topology.population()
-				}
-				sc.Name = fmt.Sprintf("%s/%s/n=%d/seed=%d", baseName, defense.Canonical(d), n, seed)
-				out = append(out, sc)
 			}
 		}
 	}
@@ -128,8 +152,45 @@ func (sw Sweep) Run() ([]*Result, error) {
 		if p <= 0 {
 			return nil, fmt.Errorf("netfence: Sweep population %d must be positive", p)
 		}
+		if err := sw.checkPopulation(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range sw.DeployFractions {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("netfence: Sweep deployment fraction %v outside [0, 1]", f)
+		}
 	}
 	return runParallel(sw.Scenarios(), sw.Parallelism)
+}
+
+// checkPopulation fails fast when a population cell is too small for
+// Base's declared workload sender lists — naming the offending workload
+// and index instead of erroring from deep inside topology build. With
+// BaseFor set the workloads are regenerated per cell, so there is
+// nothing to check up front.
+func (sw Sweep) checkPopulation(pop int) error {
+	if sw.BaseFor != nil || sw.Base.Topology == nil {
+		return nil
+	}
+	sizes := sw.Base.Topology.withPopulation(pop).groupSizes()
+	if sizes == nil {
+		return nil // registry-resolved spec: capacity unknown until build
+	}
+	for _, w := range sw.Base.Workloads {
+		kind, group, max := w.span()
+		if max < 0 {
+			continue
+		}
+		if group < 0 || group >= len(sizes) {
+			return fmt.Errorf("netfence: Sweep workload %s targets group %d, but the topology has %d groups", kind, group, len(sizes))
+		}
+		if max >= sizes[group] {
+			return fmt.Errorf("netfence: Sweep population %d is too small for workload %s: sender index %d needs at least %d senders in group %d, got %d",
+				pop, kind, max, max+1, group, sizes[group])
+		}
+	}
+	return nil
 }
 
 // runParallel drives scenarios across a bounded worker pool, slotting

@@ -16,6 +16,21 @@ import (
 // parking lot); Range builds index lists.
 type Workload interface {
 	attach(env *scenarioEnv) error
+	// span reports the workload's kind, group and highest sender index
+	// (-1 when it names no senders), so Sweep can fail fast on
+	// populations too small for the declared sender lists.
+	span() (kind string, group, maxIndex int)
+}
+
+// maxIndex returns the largest index in a sender list, or -1.
+func maxIndex(senders []int) int {
+	max := -1
+	for _, i := range senders {
+		if i > max {
+			max = i
+		}
+	}
+	return max
 }
 
 // Range returns the sender indices [lo, hi): Range(1, 10) selects
@@ -42,8 +57,14 @@ type LongTCP struct {
 	TCP *TCPConfig
 }
 
+func (w LongTCP) span() (string, int, int) { return "LongTCP", w.Group, maxIndex(w.Senders) }
+
 func (w LongTCP) attach(env *scenarioEnv) error {
 	grp, err := env.group(w.Group, "LongTCP")
+	if err != nil {
+		return err
+	}
+	victim, err := grp.victimHost("LongTCP")
 	if err != nil {
 		return err
 	}
@@ -57,9 +78,9 @@ func (w LongTCP) attach(env *scenarioEnv) error {
 			return err
 		}
 		flow := env.net.NextFlow()
-		r := transport.NewTCPReceiver(grp.victim.Host, flow)
+		r := transport.NewTCPReceiver(victim.Host, flow)
 		env.addMeter(w.Group, idx, false, r.DeliveredBytes)
-		transport.NewTCPSender(h.Host, grp.victim.ID, flow, -1, cfg).Start()
+		transport.NewTCPSender(h.Host, victim.ID, flow, -1, cfg).Start()
 	}
 	return nil
 }
@@ -78,8 +99,16 @@ type FileTransfers struct {
 	TCP *TCPConfig
 }
 
+func (w FileTransfers) span() (string, int, int) {
+	return "FileTransfers", w.Group, maxIndex(w.Senders)
+}
+
 func (w FileTransfers) attach(env *scenarioEnv) error {
 	grp, err := env.group(w.Group, "FileTransfers")
+	if err != nil {
+		return err
+	}
+	victim, err := grp.victimHost("FileTransfers")
 	if err != nil {
 		return err
 	}
@@ -99,7 +128,7 @@ func (w FileTransfers) attach(env *scenarioEnv) error {
 		}
 		ctr := env.srcCounter(w.Group, h.ID)
 		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
-		c := transport.NewFileClient(h.Host, grp.victim.ID, size, cfg)
+		c := transport.NewFileClient(h.Host, victim.ID, size, cfg)
 		c.Gap = w.Gap
 		c.OnResult = func(fct Time, ok bool) { env.fct.Add(fct, ok) }
 		env.stoppers = append(env.stoppers, c)
@@ -118,8 +147,14 @@ type WebTraffic struct {
 	Web *WebConfig
 }
 
+func (w WebTraffic) span() (string, int, int) { return "WebTraffic", w.Group, maxIndex(w.Senders) }
+
 func (w WebTraffic) attach(env *scenarioEnv) error {
 	grp, err := env.group(w.Group, "WebTraffic")
+	if err != nil {
+		return err
+	}
+	victim, err := grp.victimHost("WebTraffic")
 	if err != nil {
 		return err
 	}
@@ -135,7 +170,7 @@ func (w WebTraffic) attach(env *scenarioEnv) error {
 		}
 		ctr := env.srcCounter(w.Group, h.ID)
 		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
-		src := transport.NewWebSource(h.Host, grp.victim.ID, cfg)
+		src := transport.NewWebSource(h.Host, victim.ID, cfg)
 		src.OnResult = func(_ int64, fct Time, ok bool) { env.fct.Add(fct, ok) }
 		env.stoppers = append(env.stoppers, src)
 		src.Start()
@@ -160,6 +195,8 @@ type UDPFlood struct {
 	ToColluders bool
 }
 
+func (w UDPFlood) span() (string, int, int) { return "UDPFlood", w.Group, maxIndex(w.Senders) }
+
 func (w UDPFlood) attach(env *scenarioEnv) error {
 	return attachFlood(env, floodSpec{
 		senders: w.Senders, group: w.Group, rate: w.RateBps,
@@ -183,6 +220,8 @@ type OnOffFlood struct {
 	ToColluders bool
 }
 
+func (w OnOffFlood) span() (string, int, int) { return "OnOffFlood", w.Group, maxIndex(w.Senders) }
+
 func (w OnOffFlood) attach(env *scenarioEnv) error {
 	if w.On <= 0 || w.Off <= 0 {
 		return fmt.Errorf("OnOffFlood: On and Off must both be positive")
@@ -202,6 +241,10 @@ type ColluderPairs struct {
 	Senders []int
 	Group   int
 	RateBps int64
+}
+
+func (w ColluderPairs) span() (string, int, int) {
+	return "ColluderPairs", w.Group, maxIndex(w.Senders)
 }
 
 func (w ColluderPairs) attach(env *scenarioEnv) error {
@@ -230,6 +273,11 @@ func attachFlood(env *scenarioEnv, spec floodSpec) error {
 	}
 	if spec.toColluders && len(grp.colluders) == 0 {
 		return fmt.Errorf("%s: topology has no colluder hosts in group %d (set ColluderASes)", spec.kind, spec.group)
+	}
+	if !spec.toColluders {
+		if _, err := grp.victimHost(spec.kind); err != nil {
+			return err
+		}
 	}
 	rate := spec.rate
 	if rate <= 0 {
@@ -278,8 +326,14 @@ type RequestFlood struct {
 	Strategic bool
 }
 
+func (w RequestFlood) span() (string, int, int) { return "RequestFlood", w.Group, maxIndex(w.Senders) }
+
 func (w RequestFlood) attach(env *scenarioEnv) error {
 	grp, err := env.group(w.Group, "RequestFlood")
+	if err != nil {
+		return err
+	}
+	victim, err := grp.victimHost("RequestFlood")
 	if err != nil {
 		return err
 	}
@@ -289,6 +343,9 @@ func (w RequestFlood) attach(env *scenarioEnv) error {
 	}
 	level := w.Level
 	if w.Strategic {
+		if len(env.bottlenecks) == 0 {
+			return fmt.Errorf("RequestFlood: Strategic needs a topology with a tagged bottleneck link")
+		}
 		cfg := core.DefaultConfig()
 		if c, ok := env.sc.Defense.Config.(Config); ok {
 			cfg = c
@@ -303,7 +360,7 @@ func (w RequestFlood) attach(env *scenarioEnv) error {
 		}
 		env.denySet[h.ID] = true
 		flow := env.net.NextFlow()
-		f := transport.NewRequestFlooder(h.Host, grp.victim.ID, flow, rate, level)
+		f := transport.NewRequestFlooder(h.Host, victim.ID, flow, rate, level)
 		env.stoppers = append(env.stoppers, f)
 		f.Start()
 	}
