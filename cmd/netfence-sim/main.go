@@ -26,6 +26,15 @@
 //	netfence-sim -sweep -senders 20,40 -bottleneck 4000000 -duration 240
 //	netfence-sim -sweep -topo random-as -deploy 0,0.5,1
 //
+// -attack swaps the static colluder flood for adaptive attack
+// strategies (see -list-attacks) and sweeps them as an axis: each
+// strategy decides per control tick how the attackers transmit, observes
+// the returned congestion policing feedback, and may craft packet
+// channels and presented feedback:
+//
+//	netfence-sim -sweep -attack flood,onoff-sync,replay,legacy-flood
+//	netfence-sim -sweep -attack request-prio -defense netfence,tva
+//
 // Scales: tiny (seconds of wall time, CI), small (default, minutes),
 // paper (the full 1000-sender, 4000-simulated-second configuration —
 // expect a long run).
@@ -58,6 +67,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments")
 		listDef  = flag.Bool("list-defenses", false, "list registered defense systems")
 		listTopo = flag.Bool("list-topologies", false, "list registered topologies")
+		listAtk  = flag.Bool("list-attacks", false, "list registered attack strategies")
 		defenses = flag.String("defense", "", "comma-separated defense systems (default: the paper's lineup)")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
@@ -65,6 +75,7 @@ func main() {
 		seeds      = flag.String("seeds", "1", "sweep: comma-separated RNG seeds")
 		senders    = flag.String("senders", "20", "sweep: comma-separated sender populations")
 		deploy     = flag.String("deploy", "", "sweep: comma-separated deployed source-AS fractions in [0,1] (empty = full deployment)")
+		attacks    = flag.String("attack", "", "sweep: comma-separated attack strategies driving the attacker side (empty = the static colluder flood; see -list-attacks)")
 		bottleneck = flag.Int64("bottleneck", 4_000_000, "sweep: bottleneck capacity in bps (default dumbbell only; -topo topologies scale it per sender)")
 		duration   = flag.Int("duration", 240, "sweep: simulated seconds per cell")
 		parallel   = flag.Int("parallelism", 0, "sweep: concurrent cells (0 = GOMAXPROCS)")
@@ -91,6 +102,12 @@ func main() {
 		}
 		return
 	}
+	if *listAtk {
+		for _, name := range netfence.Attacks() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *benchJSON {
 		runBenchJSON()
 		return
@@ -102,7 +119,11 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, *bottleneck, *duration, *parallel)
+		attackList, err := parseAttacks(*attacks)
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel)
 		return
 	}
 
@@ -139,9 +160,12 @@ func main() {
 }
 
 // runSweep fans the paper's collusion scenario (25% long-TCP users, 75%
-// colluder pairs) over defenses × populations × deployment fractions ×
-// seeds, on the default dumbbell or any registered topology.
-func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, bottleneck int64, durationSec, parallelism int) {
+// colluder-bound attackers) over defenses × populations × deployment
+// fractions × attacks × seeds, on the default dumbbell or any registered
+// topology. Without -attack the attacker side is the classic static
+// colluder flood; with it, the attackers are driven by each listed
+// adaptive strategy in turn (the Sweep.Attacks axis).
+func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism int) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -164,15 +188,25 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 	topoName = strings.ToLower(strings.TrimSpace(topoName))
 
 	// collusionWorkloads splits a sender group 25% long-TCP users / 75%
-	// colluder pairs.
+	// colluder-bound attackers: the classic static colluder flood by
+	// default, or an AttackSpec the Attacks axis re-targets per cell.
 	collusionWorkloads := func(group, senders int) []netfence.Workload {
 		users := senders / 4
 		if users == 0 && senders > 0 {
 			users = 1
 		}
+		atk := netfence.Workload(netfence.ColluderPairs{
+			Group: group, Senders: netfence.Range(users, senders), RateBps: 1_000_000,
+		})
+		if len(attackList) > 0 {
+			atk = netfence.AttackSpec{
+				Group: group, Senders: netfence.Range(users, senders),
+				RateBps: 1_000_000, ToColluders: true,
+			}
+		}
 		return []netfence.Workload{
 			netfence.LongTCP{Group: group, Senders: netfence.Range(0, users)},
-			netfence.ColluderPairs{Group: group, Senders: netfence.Range(users, senders), RateBps: 1_000_000},
+			atk,
 		}
 	}
 
@@ -214,6 +248,7 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 		Defenses:        defenseList,
 		Populations:     popList,
 		DeployFractions: deployList,
+		Attacks:         attackList,
 		Seeds:           seedList,
 		Parallelism:     parallelism,
 	}
@@ -263,6 +298,31 @@ func parseDefenses(csv string) ([]string, error) {
 	return out, nil
 }
 
+// parseAttacks validates a comma-separated attack-strategy list against
+// the attack registry.
+func parseAttacks(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	registered := map[string]bool{}
+	for _, n := range netfence.Attacks() {
+		registered[n] = true
+	}
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		name := strings.ToLower(strings.TrimSpace(f))
+		if name == "" {
+			continue
+		}
+		if !registered[name] {
+			return nil, fmt.Errorf("unknown attack strategy %q (registered: %s)",
+				name, strings.Join(netfence.Attacks(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
 func parseInts(csv string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(csv, ",") {
@@ -304,8 +364,9 @@ func parseUints(csv string) ([]uint64, error) {
 
 // benchNames is the fixed experiment-family suite timed by -bench-json:
 // one per major simulation shape (capability channel, collusion,
-// multi-bottleneck, analytic bound, incremental deployment).
-var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy"}
+// multi-bottleneck, analytic bound, incremental deployment, adaptive
+// adversaries).
+var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy", "strategic"}
 
 // runBenchJSON times each suite member once at tiny scale and emits a
 // JSON baseline, so successive PRs can track the perf trajectory

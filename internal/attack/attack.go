@@ -1,0 +1,318 @@
+// Package attack is the adaptive-adversary subsystem: pluggable attack
+// strategies driven by the simulation engine, mirroring the defense
+// registry (internal/defense) and the topology registry (internal/topo).
+//
+// NetFence's claim (§3.4, Theorem 1) is not that it stops one flood but
+// that it bounds the damage of *any* sender strategy. The §6.3
+// evaluation therefore pits the system against strategic attackers:
+// request-level escalation, on-off bursts phase-locked to the AIMD
+// control interval, feedback replay, and legacy-channel floods under
+// partial deployment. This package makes those adversaries first-class:
+// a Strategy decides per control tick how fast each attack sender
+// transmits, observes the congestion policing feedback the network
+// returns (the attacker's window into the policer's state), and may
+// craft each outgoing packet's channel, priority and presented feedback.
+//
+// A Controller owns one workload's senders: it wraps each sender host's
+// deployed shim so crafted packets bypass the honest stack while honest
+// packets (and the reverse feedback path) keep working, paces emission
+// at the strategy's chosen rate, and re-consults the strategy on a
+// shared tick so synchronized strategies stay phase-locked.
+package attack
+
+import (
+	"netfence/internal/core"
+	"netfence/internal/feedback"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// Env is the scenario view an adaptive strategy keys its decisions off:
+// what the attacker population knows about the network it is attacking.
+type Env struct {
+	// Eng is the driving simulation engine.
+	Eng *sim.Engine
+	// Attackers is the strategy's sender population.
+	Attackers int
+	// BottleneckBps is the targeted bottleneck's capacity (0 when the
+	// topology exposes none; capacity-derived strategies then error at
+	// build time).
+	BottleneckBps int64
+	// Config holds the deployed NetFence parameters — public protocol
+	// constants (control interval, request-channel share, token rates) a
+	// real attacker reads off the spec. The zero value is replaced with
+	// the Figure 3 defaults.
+	Config core.Config
+}
+
+// Decision is a strategy's transmission plan until the next tick.
+type Decision struct {
+	// RateBps is the send rate; 0 or negative pauses the sender.
+	RateBps int64
+	// PktSize is the on-wire packet size (0 = full-size data packets).
+	PktSize int32
+}
+
+// Strategy is one adaptive attack. A single instance drives every
+// sender of a workload (so population-level choices are shared and
+// bursts synchronize); per-sender state lives on the Sender, in its
+// State slot.
+type Strategy interface {
+	// Name is the canonical registry name, echoed in results.
+	Name() string
+	// Interval is the decision tick; strategies that phase-lock to the
+	// policer return the AIMD control interval here.
+	Interval(env *Env) sim.Time
+	// Start initializes one sender before traffic begins and returns
+	// its first Decision.
+	Start(s *Sender) Decision
+	// Tick re-decides a sender's Decision once per Interval.
+	Tick(s *Sender) Decision
+	// Observe hands the strategy congestion policing feedback returned
+	// to a sender — the attacker's inference surface over the policer's
+	// state (the Sender also tallies it in LastFB/Ups/Downs).
+	Observe(s *Sender, fb packet.Feedback)
+	// Craft decorates an outgoing packet (channel, priority, presented
+	// feedback). Returning false defers to the sender host's deployed
+	// shim — the honest path.
+	Craft(s *Sender, p *packet.Packet) bool
+}
+
+// Sender is one attack sender under a Controller: the host it emits
+// from, the destination it floods, and the feedback it has observed. It
+// doubles as the host's shim so the strategy sees both directions of
+// every packet.
+type Sender struct {
+	Host *netsim.Host
+	Dst  packet.NodeID
+	Flow packet.FlowID
+	// Index is the sender's position in the workload's sender list.
+	Index int
+	Env   *Env
+	// State is the strategy's per-sender slot (e.g. the replay cache).
+	State any
+
+	// LastFB is the most recent feedback returned by the receiver; Ups
+	// and Downs count observed L-up/L-down actions — the raw material
+	// for policer-state inference.
+	LastFB packet.Feedback
+	HasFB  bool
+	Ups    uint64
+	Downs  uint64
+	// LastMFB is the most recent returned Appendix B.1 multi-bottleneck
+	// header — MultiFeedback configurations return feedback here instead
+	// of the single-feedback header. Observe fires only for the latter;
+	// strategies read LastMFB directly (its per-link actions still feed
+	// Ups/Downs).
+	LastMFB packet.MultiHeader
+	HasMFB  bool
+	// Sent counts packets emitted.
+	Sent uint64
+
+	ctrl     *Controller
+	inner    netsim.Shim
+	dec      Decision
+	ev       *sim.Event
+	sending  bool
+	crafting bool
+}
+
+// Egress implements netsim.Shim: controller-emitted packets are offered
+// to the strategy's Craft hook first; packets it declines — and all
+// other traffic from this host — take the deployed shim's honest path.
+func (s *Sender) Egress(p *packet.Packet) {
+	if s.crafting && s.ctrl.strategy.Craft(s, p) {
+		return
+	}
+	if s.inner != nil {
+		s.inner.Egress(p)
+	}
+}
+
+// Ingress implements netsim.Shim: returned feedback is recorded and
+// handed to the strategy before the deployed shim sees the packet.
+func (s *Sender) Ingress(p *packet.Packet) bool {
+	if p.Ret.Present {
+		s.LastFB = feedback.ToPresented(p.Ret)
+		s.HasFB = true
+		if s.LastFB.IsMon() {
+			if s.LastFB.Action == packet.ActDecr {
+				s.Downs++
+			} else {
+				s.Ups++
+			}
+		}
+		s.ctrl.strategy.Observe(s, s.LastFB)
+	}
+	if p.RetMFB.Present {
+		s.LastMFB = p.RetMFB
+		s.HasMFB = true
+		for _, it := range p.RetMFB.Items {
+			if it.Action == packet.ActDecr {
+				s.Downs++
+			} else {
+				s.Ups++
+			}
+		}
+	}
+	if s.inner != nil {
+		return s.inner.Ingress(p)
+	}
+	return p.Proto != packet.ProtoFeedback
+}
+
+// apply installs a new Decision, starting, pausing or re-pacing the
+// sending loop. A rate change while sending must reschedule the pending
+// inter-packet event: a slow trickle's gap can span whole on-phases, and
+// leaving it queued would swallow the burst the next Decision ordered.
+func (s *Sender) apply(d Decision) {
+	if d.PktSize <= 0 {
+		d.PktSize = packet.SizeData
+	}
+	prev := s.dec
+	s.dec = d
+	if d.RateBps <= 0 {
+		if s.ev != nil {
+			s.ev.Cancel()
+			s.ev = nil
+		}
+		s.sending = false
+		return
+	}
+	if !s.sending {
+		s.sending = true
+		s.sendNext()
+		return
+	}
+	if d.RateBps != prev.RateBps || d.PktSize != prev.PktSize {
+		if s.ev != nil {
+			s.ev.Cancel()
+		}
+		s.sendNext()
+	}
+}
+
+func (s *Sender) sendNext() {
+	if !s.ctrl.running || s.dec.RateBps <= 0 {
+		s.sending = false
+		return
+	}
+	s.emit()
+	s.ev = s.Env.Eng.After(sim.TxTime(int(s.dec.PktSize), s.dec.RateBps), s.sendNext)
+}
+
+// emit sends one packet through the host stack; the crafting flag routes
+// it to the strategy's Craft hook inside this sender's shim.
+func (s *Sender) emit() {
+	payload := s.dec.PktSize - packet.SizeIPUDP - packet.SizeNetFenceMx - packet.SizePassport
+	if payload < 0 {
+		payload = 0
+	}
+	p := &packet.Packet{
+		Dst:     s.Dst,
+		Flow:    s.Flow,
+		Kind:    packet.KindRegular,
+		Proto:   packet.ProtoUDP,
+		Size:    s.dec.PktSize,
+		Payload: payload,
+	}
+	s.crafting = true
+	s.Host.Send(p)
+	s.crafting = false
+	s.Sent++
+}
+
+// Controller drives one attack workload: it wraps each sender host's
+// shim, paces emission per the strategy's Decisions, and re-consults the
+// strategy on a shared tick. Construct with NewController, add senders,
+// then Start; Stop halts all senders (scenario teardown).
+type Controller struct {
+	strategy Strategy
+	env      *Env
+	senders  []*Sender
+	ticker   *sim.Ticker
+	running  bool
+}
+
+// NewController creates a controller for one strategy instance. A zero
+// env.Config is replaced with the Figure 3 defaults so interval-derived
+// decisions always have a control interval to lock onto.
+func NewController(strategy Strategy, env *Env) *Controller {
+	if env.Config.Ilim <= 0 {
+		env.Config = core.DefaultConfig()
+	}
+	return &Controller{strategy: strategy, env: env}
+}
+
+// Strategy returns the driven strategy.
+func (c *Controller) Strategy() Strategy { return c.strategy }
+
+// Senders returns the controller's senders in add order.
+func (c *Controller) Senders() []*Sender { return c.senders }
+
+// AddSender attaches one attack sender flooding dst on flow. Call
+// before Start.
+func (c *Controller) AddSender(host *netsim.Host, dst packet.NodeID, flow packet.FlowID) *Sender {
+	s := &Sender{
+		Host:  host,
+		Dst:   dst,
+		Flow:  flow,
+		Index: len(c.senders),
+		Env:   c.env,
+		ctrl:  c,
+	}
+	c.senders = append(c.senders, s)
+	return s
+}
+
+// Start wraps every sender's shim, applies the strategy's initial
+// Decisions, and begins the shared decision tick.
+func (c *Controller) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	for _, s := range c.senders {
+		// Wrap whatever the deployed defense installed (nil on legacy
+		// or baseline hosts): crafted packets bypass it, everything
+		// else — including the reverse feedback path — still flows
+		// through it.
+		s.inner = s.Host.Shim
+		s.Host.Shim = s
+	}
+	for _, s := range c.senders {
+		s.apply(c.strategy.Start(s))
+	}
+	interval := c.strategy.Interval(c.env)
+	if interval <= 0 {
+		interval = c.env.Config.Ilim
+	}
+	c.ticker = c.env.Eng.Tick(interval, func() {
+		for _, s := range c.senders {
+			s.apply(c.strategy.Tick(s))
+		}
+	})
+}
+
+// Stop halts the decision tick and every sender's pacing loop, and
+// unwraps the senders' shims so a later Start re-wraps cleanly instead
+// of wrapping a Sender around itself.
+func (c *Controller) Stop() {
+	if !c.running {
+		return
+	}
+	c.running = false
+	c.ticker.Stop()
+	for _, s := range c.senders {
+		if s.ev != nil {
+			s.ev.Cancel()
+			s.ev = nil
+		}
+		s.sending = false
+		if s.Host.Shim == netsim.Shim(s) {
+			s.Host.Shim = s.inner
+		}
+		s.inner = nil
+	}
+}

@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BuildOptions carries construction parameters to a strategy Builder.
+type BuildOptions struct {
+	// RateBps is the per-sender attack rate (0 = 1 Mbps).
+	RateBps int64
+	// PktSize is the on-wire packet size (0 = the strategy's default:
+	// full-size data packets, or request-size for request-channel
+	// strategies).
+	PktSize int32
+	// Env gives the builder the scenario facts adaptive strategies key
+	// off: the attack population, the bottleneck capacity and the
+	// deployed NetFence parameters. nil builds against defaults, which
+	// disables the capacity-derived adaptations.
+	Env *Env
+	// Options is a strategy-specific configuration value whose concrete
+	// type is defined by the registered builder (OnOffOptions for
+	// "onoff-sync"). nil selects the strategy's defaults. Builders must
+	// reject configuration types they do not understand.
+	Options any
+}
+
+// Builder constructs an attack strategy. One Strategy instance drives
+// every sender of one attack workload, so builders may precompute
+// population-level decisions (the §6.3.1 request level) once.
+type Builder func(opts BuildOptions) (Strategy, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Canonical normalizes a registry name: whitespace trimmed, lower-cased.
+func Canonical(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Register makes an attack strategy constructible by name through Build.
+// The in-tree strategies self-register from an init function ("flood",
+// "onoff-sync", "request-prio", "replay", "legacy-flood"); third-party
+// strategies may register under any unclaimed name. Register panics on
+// an empty name, a nil builder, or a duplicate registration — all
+// programmer errors.
+func Register(name string, b Builder) {
+	key := Canonical(name)
+	if key == "" {
+		panic("attack: Register with empty name")
+	}
+	if b == nil {
+		panic(fmt.Sprintf("attack: Register(%q) with nil builder", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("attack: Register(%q) called twice", key))
+	}
+	registry[key] = b
+}
+
+// Registered reports whether a strategy name resolves in the registry.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[Canonical(name)]
+	return ok
+}
+
+// Build resolves name in the registry and constructs the strategy.
+func Build(name string, opts BuildOptions) (Strategy, error) {
+	regMu.RLock()
+	b := registry[Canonical(name)]
+	regMu.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("attack: unknown strategy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	s, err := b(opts)
+	if err != nil {
+		return nil, fmt.Errorf("attack %q: %w", Canonical(name), err)
+	}
+	return s, nil
+}
+
+// Names returns the sorted canonical names of every registered strategy.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,272 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"netfence/internal/core"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+func init() {
+	Register("flood", newFlood)
+	Register("onoff-sync", newOnOffSync)
+	Register("request-prio", newRequestPrio)
+	Register("replay", newReplay)
+	Register("legacy-flood", newLegacyFlood)
+}
+
+// StrategicRequestLevel computes the request-channel attack strategy of
+// §6.3.1: the highest priority level at which the aggregate admitted
+// attack traffic still saturates the request channel. attackers is the
+// flood population, bottleneckBps the link capacity. (Moved here from
+// internal/core: it is an adversary decision, not a defense function.)
+func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg core.Config) uint8 {
+	channel := cfg.RequestCapFrac * float64(bottleneckBps)
+	level := uint8(1)
+	for level < cfg.MaxPrioLevel {
+		next := level + 1
+		// Admitted per-sender packet rate at a level halves per step.
+		perSender := cfg.TokenRatePerSec / float64(uint64(1)<<(next-1))
+		aggregate := float64(attackers) * perSender * packet.SizeRequest * 8
+		if aggregate < channel {
+			break
+		}
+		level = next
+	}
+	return level
+}
+
+// DefaultNu is the assumed transport efficiency ν used to discount the
+// TheoremBound rate-limit floor down to a goodput floor — conservative
+// for the evaluation's TCP workloads at small scales. Shared by
+// BoundProbe's default and the strategic experiment so their floors
+// never diverge.
+const DefaultNu = 0.5
+
+// TheoremBound returns the Theorem 1 (§3.4, Appendix A) lower bound
+// rho·C/(G+B) with rho = (1-MD)³ on the rate limit of any sender with
+// sufficient demand: the share a legitimate sender keeps regardless of
+// the attackers' strategy. senders is G+B, the total competing
+// population; the result is 0 when the inputs are degenerate.
+func TheoremBound(cfg core.Config, bottleneckBps int64, senders int) float64 {
+	if bottleneckBps <= 0 || senders <= 0 {
+		return 0
+	}
+	rho := math.Pow(1-cfg.MD, 3)
+	return rho * float64(bottleneckBps) / float64(senders)
+}
+
+// base carries the rate/packet-size plumbing shared by the in-tree
+// strategies and provides the no-op defaults (honest crafting, per-
+// control-interval decisions).
+type base struct {
+	name    string
+	rate    int64
+	pktSize int32
+}
+
+func newBase(name string, opts BuildOptions, defaultSize int32) base {
+	b := base{name: name, rate: opts.RateBps, pktSize: opts.PktSize}
+	if b.rate <= 0 {
+		b.rate = 1_000_000
+	}
+	if b.pktSize <= 0 {
+		b.pktSize = defaultSize
+	}
+	return b
+}
+
+func (b base) Name() string                       { return b.name }
+func (b base) Interval(env *Env) sim.Time         { return env.Config.Ilim }
+func (b base) decision() Decision                 { return Decision{RateBps: b.rate, PktSize: b.pktSize} }
+func (b base) Observe(*Sender, packet.Feedback)   {}
+func (b base) Craft(*Sender, *packet.Packet) bool { return false }
+
+// rejectOptions is the shared guard for strategies that take none.
+func rejectOptions(name string, opts BuildOptions) error {
+	if opts.Options != nil {
+		return fmt.Errorf("%s takes no options, got %T", name, opts.Options)
+	}
+	return nil
+}
+
+// flood is the baseline constant-rate UDP flood of §6.1/§6.3.2 — the
+// paper's 1 Mbps-per-attacker load — expressed as a strategy: every
+// packet takes the honest shim path, so under NetFence it is policed
+// onto the regular channel and pinned to the AIMD fair share.
+type flood struct{ base }
+
+func newFlood(opts BuildOptions) (Strategy, error) {
+	if err := rejectOptions("flood", opts); err != nil {
+		return nil, err
+	}
+	return &flood{newBase("flood", opts, packet.SizeData)}, nil
+}
+
+func (f *flood) Start(*Sender) Decision { return f.decision() }
+func (f *flood) Tick(*Sender) Decision  { return f.decision() }
+
+// OnOffOptions configures the "onoff-sync" strategy.
+type OnOffOptions struct {
+	// OnIntervals and OffIntervals are the burst and silence lengths in
+	// AIMD control intervals (defaults 1 and 2: burst one interval,
+	// then hide for exactly the paper's L-down hysteresis window —
+	// footnote 1 proves 2 intervals is the minimum robust value, so
+	// this shape is the strongest timed attack against it).
+	OnIntervals, OffIntervals int
+	// OffRateBps keeps a low-rate trickle during off phases, harvesting
+	// L-up feedback between bursts (0 = full silence).
+	OffRateBps int64
+}
+
+// onoffSync is the synchronized on-off attack of §6.3.2 phase-locked to
+// the AIMD control interval: every sender derives its phase from the
+// shared simulation clock, so all bursts land in the same control
+// intervals — Theorem 1's worst-case timing.
+type onoffSync struct {
+	base
+	opt OnOffOptions
+}
+
+func newOnOffSync(opts BuildOptions) (Strategy, error) {
+	o := OnOffOptions{}
+	switch v := opts.Options.(type) {
+	case nil:
+	case OnOffOptions:
+		o = v
+	default:
+		return nil, fmt.Errorf("onoff-sync options must be attack.OnOffOptions, got %T", opts.Options)
+	}
+	if o.OnIntervals <= 0 {
+		o.OnIntervals = 1
+	}
+	if o.OffIntervals <= 0 {
+		o.OffIntervals = 2
+	}
+	return &onoffSync{base: newBase("onoff-sync", opts, packet.SizeData), opt: o}, nil
+}
+
+func (o *onoffSync) decide(s *Sender) Decision {
+	ilim := s.Env.Config.Ilim
+	period := o.opt.OnIntervals + o.opt.OffIntervals
+	idx := int(s.Env.Eng.Now()/ilim) % period
+	if idx < o.opt.OnIntervals {
+		return o.decision()
+	}
+	return Decision{RateBps: o.opt.OffRateBps, PktSize: o.pktSize}
+}
+
+func (o *onoffSync) Start(s *Sender) Decision { return o.decide(s) }
+func (o *onoffSync) Tick(s *Sender) Decision  { return o.decide(s) }
+
+// requestPrio is the adaptive request-channel attack of §6.3.1: the
+// population computes the highest priority level whose aggregate
+// admitted traffic still saturates the request channel and blasts
+// request packets at exactly that level — low enough to afford, high
+// enough to starve legitimate connection requests below it.
+type requestPrio struct {
+	base
+	level uint8
+}
+
+func newRequestPrio(opts BuildOptions) (Strategy, error) {
+	if err := rejectOptions("request-prio", opts); err != nil {
+		return nil, err
+	}
+	if opts.Env == nil || opts.Env.BottleneckBps <= 0 {
+		return nil, fmt.Errorf("request-prio needs a topology with a tagged bottleneck link to compute the §6.3.1 level")
+	}
+	cfg := opts.Env.Config
+	if cfg.Ilim <= 0 {
+		cfg = core.DefaultConfig()
+	}
+	return &requestPrio{
+		base:  newBase("request-prio", opts, packet.SizeRequest),
+		level: StrategicRequestLevel(opts.Env.Attackers, opts.Env.BottleneckBps, cfg),
+	}, nil
+}
+
+// Level exposes the computed §6.3.1 priority level.
+func (r *requestPrio) Level() uint8 { return r.level }
+
+func (r *requestPrio) Start(*Sender) Decision { return r.decision() }
+func (r *requestPrio) Tick(*Sender) Decision  { return r.decision() }
+
+func (r *requestPrio) Craft(_ *Sender, p *packet.Packet) bool {
+	p.Kind = packet.KindRequest
+	p.Prio = r.level
+	p.FB = packet.Feedback{}
+	return true
+}
+
+// replay caches the first congestion policing feedback the network
+// returns and presents that same token on every subsequent packet,
+// across key rotations — probing whether stale feedback survives the
+// keyring's MAC expiry (§4.4). It must not: once the token ages past
+// the freshness window w (and the stamping key rotates away), every
+// replayed packet is demoted to the request channel at priority 0.
+type replay struct{ base }
+
+func newReplay(opts BuildOptions) (Strategy, error) {
+	if err := rejectOptions("replay", opts); err != nil {
+		return nil, err
+	}
+	return &replay{newBase("replay", opts, packet.SizeData)}, nil
+}
+
+func (r *replay) Start(*Sender) Decision { return r.decision() }
+func (r *replay) Tick(*Sender) Decision  { return r.decision() }
+
+func (r *replay) Observe(s *Sender, fb packet.Feedback) {
+	if s.State == nil {
+		s.State = fb // cache once, replay forever
+	}
+}
+
+func (r *replay) Craft(s *Sender, p *packet.Packet) bool {
+	if s.State == nil && s.HasMFB {
+		// Appendix B.1 configurations return the chained multi-
+		// bottleneck header instead of single feedback; cache it once
+		// the same way (Observe never fires for it).
+		s.State = s.LastMFB
+	}
+	switch fb := s.State.(type) {
+	case packet.Feedback:
+		p.Kind = packet.KindRegular
+		p.FB = fb
+		return true
+	case packet.MultiHeader:
+		p.Kind = packet.KindRegular
+		p.MFB = fb
+		p.FB = packet.Feedback{}
+		return true
+	}
+	return false // honest until there is something to replay
+}
+
+// legacyFlood models undeployed-AS traffic under partial deployment:
+// packets carry no congestion policing feedback at all and ride the
+// best-effort legacy channel (§4.4), which a NetFence bottleneck serves
+// only when the request and regular channels are idle. Senders in
+// deployed ASes crafting such packets opt out of policing — and out of
+// priority with it.
+type legacyFlood struct{ base }
+
+func newLegacyFlood(opts BuildOptions) (Strategy, error) {
+	if err := rejectOptions("legacy-flood", opts); err != nil {
+		return nil, err
+	}
+	return &legacyFlood{newBase("legacy-flood", opts, packet.SizeData)}, nil
+}
+
+func (l *legacyFlood) Start(*Sender) Decision { return l.decision() }
+func (l *legacyFlood) Tick(*Sender) Decision  { return l.decision() }
+
+func (l *legacyFlood) Craft(_ *Sender, p *packet.Packet) bool {
+	p.Kind = packet.KindLegacy
+	p.Prio = 0
+	p.FB = packet.Feedback{}
+	return true
+}

@@ -242,6 +242,89 @@ func TestUtilDetectorOpensMonitoring(t *testing.T) {
 	}
 }
 
+// TestReplayStaleFeedbackDemoted is the end-to-end replay probe against
+// the freshness window w: L-up feedback stamped in control interval k
+// and presented in interval k+2 (4 s later with the Figure 3 Ilim = 2 s,
+// past w = 4 s) must be rejected and the packet demoted to the request
+// channel — the attack the "replay" strategy mounts.
+func TestReplayStaleFeedbackDemoted(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	d, s := deploy(26, cfg, DefaultConfig())
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+
+	mk := func() *packet.Packet {
+		p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+			Kind: packet.KindRegular, Size: 1500}
+		feedback.StampIncr(ar.ring.Current(), p, 0, d.Bottleneck.ID)
+		return p
+	}
+	replayed := mk().FB // cached in interval k (ts = 0)
+
+	// Presented within the freshness window: policed normally, never
+	// demoted.
+	fresh := mk()
+	ar.police(fresh)
+	if fresh.Kind != packet.KindRegular || ar.Demoted != 0 {
+		t.Fatalf("fresh L-up demoted: kind=%v demoted=%d", fresh.Kind, ar.Demoted)
+	}
+
+	// Two control intervals later the token is past w.
+	d.Net.Eng.RunUntil(2*DefaultConfig().Ilim + sim.Second)
+	stale := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500, FB: replayed}
+	ar.police(stale)
+	if stale.Kind != packet.KindRequest || stale.Prio != 0 {
+		t.Fatalf("stale replay not demoted: kind=%v prio=%d", stale.Kind, stale.Prio)
+	}
+	if ar.Demoted != 1 {
+		t.Fatalf("Demoted = %d, want 1", ar.Demoted)
+	}
+}
+
+// TestReplayAcrossKeyRotationsDemoted isolates the keyring's MAC expiry
+// from timestamp freshness: with the freshness window w effectively
+// disabled, feedback stamped under key k survives exactly one rotation
+// (the §3.2 grace period validates against current and previous keys)
+// and is rejected after the second — replaying cached feedback across
+// rotations buys nothing.
+func TestReplayAcrossKeyRotationsDemoted(t *testing.T) {
+	cfg := topo.DefaultDumbbell(2, 1_000_000)
+	nfCfg := DefaultConfig()
+	nfCfg.KeyRotate = 2 * sim.Second
+	nfCfg.WSec = 1000 // freshness never trips; only key expiry can reject
+	d, s := deploy(27, cfg, nfCfg)
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+
+	p := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRegular, Size: 1500}
+	feedback.StampIncr(ar.ring.Current(), p, 0, d.Bottleneck.ID)
+	replayed := p.FB
+
+	present := func() *packet.Packet {
+		q := &packet.Packet{Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+			Kind: packet.KindRegular, Size: 1500, FB: replayed}
+		ar.police(q)
+		return q
+	}
+
+	// One rotation in (t = 3 s): the previous key still validates.
+	d.Net.Eng.RunUntil(3 * sim.Second)
+	if q := present(); q.Kind != packet.KindRegular || ar.Demoted != 0 {
+		t.Fatalf("replay rejected within the rotation grace period: kind=%v demoted=%d", q.Kind, ar.Demoted)
+	}
+
+	// Two rotations in (t = 5 s): the stamping key has left the ring.
+	d.Net.Eng.RunUntil(5 * sim.Second)
+	if q := present(); q.Kind != packet.KindRequest || q.Prio != 0 {
+		t.Fatalf("replay across two rotations not demoted: kind=%v prio=%d", q.Kind, q.Prio)
+	}
+	if ar.Demoted != 1 {
+		t.Fatalf("Demoted = %d, want 1", ar.Demoted)
+	}
+}
+
 func TestMultiBottleneckChainEndToEnd(t *testing.T) {
 	// Two monitored bottlenecks in series; with B.1 enabled the sender's
 	// access router ends up with a limiter for each.

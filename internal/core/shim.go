@@ -44,6 +44,16 @@ type peerState struct {
 	lastHeard sim.Time
 	lastFlow  packet.FlowID
 	echo      *sim.Ticker
+
+	// reqSince marks when the shim last fell back to the request
+	// channel for lack of valid feedback toward this peer; the waiting
+	// time since then buys request priority (§4.2), exactly as the SYN
+	// path's flow-start clock does. Without this, a sender whose
+	// feedback expired mid-connection would be pinned at priority 0 —
+	// starved forever behind any demoted attack flood sharing the
+	// request channel (the replay strategy's best outcome).
+	reqSince    sim.Time
+	hasReqSince bool
 }
 
 // AttachHost installs a NetFence shim on host h with the given policy.
@@ -133,17 +143,25 @@ func (sh *HostShim) Egress(p *packet.Packet) {
 		if ps.hasPresentedM && sh.fresh(ps.presentedM.TS) {
 			p.MFB = ps.presentedM
 			p.Kind = packet.KindRegular
+			ps.hasReqSince = false
 			return
 		}
 	} else if ps.hasPresented && sh.fresh(ps.presented.TS) {
 		p.FB = ps.presented
 		p.Kind = packet.KindRegular
+		ps.hasReqSince = false
 		return
 	}
 	// No valid feedback in hand: the packet can only travel the request
-	// channel at the lowest priority.
+	// channel, at the priority the waiting time since feedback was lost
+	// affords (§4.2) — the access router's token bucket enforces the
+	// actual spend, so an impatient claim is simply dropped there.
+	if !ps.hasReqSince {
+		ps.reqSince = now
+		ps.hasReqSince = true
+	}
 	p.Kind = packet.KindRequest
-	p.Prio = 0
+	p.Prio = sh.sys.Cfg.AffordableLevel(now - ps.reqSince)
 	p.FB = packet.Feedback{}
 	p.MFB = packet.MultiHeader{}
 }

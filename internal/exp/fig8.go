@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"netfence/internal/attack"
 	"netfence/internal/core"
 	"netfence/internal/defense"
 	"netfence/internal/metrics"
@@ -45,10 +46,11 @@ func Fig8(sc Scale) Result {
 }
 
 // StrategicRequestLevel computes the attack strategy of §6.3.1; it lives
-// in core (the pure function of the NetFence parameters) and is
-// re-exported here for the experiment harness.
+// in the attack subsystem (the adversary's decision, a pure function of
+// the public NetFence parameters) and is re-exported here for the
+// experiment harness.
 func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg core.Config) uint8 {
-	return core.StrategicRequestLevel(attackers, bottleneckBps, cfg)
+	return attack.StrategicRequestLevel(attackers, bottleneckBps, cfg)
 }
 
 // fig8Roles splits a dumbbell's senders: the first host of each source

@@ -28,6 +28,7 @@
 package netfence
 
 import (
+	"netfence/internal/attack"
 	"netfence/internal/core"
 	"netfence/internal/defense"
 	"netfence/internal/exp"
@@ -73,6 +74,12 @@ type (
 	Link = netsim.Link
 	// Packet is the simulated packet.
 	Packet = packet.Packet
+	// PacketKind classifies a packet into one of NetFence's three
+	// channels (legacy, request, regular).
+	PacketKind = packet.Kind
+	// Feedback is one congestion policing feedback element — what
+	// attack strategies observe and may craft.
+	Feedback = packet.Feedback
 	// NodeID addresses a node.
 	NodeID = packet.NodeID
 	// ASID identifies an autonomous system.
@@ -83,6 +90,13 @@ type (
 
 // NewNetwork returns an empty network driven by eng.
 func NewNetwork(eng *Engine) *Network { return netsim.New(eng) }
+
+// Packet channels, for strategies crafting their own headers.
+const (
+	KindLegacy  = packet.KindLegacy
+	KindRequest = packet.KindRequest
+	KindRegular = packet.KindRegular
+)
 
 // NetFence proper.
 type (
@@ -99,6 +113,67 @@ type (
 
 // DefaultConfig returns the paper's Figure 3 parameters.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Attack strategies. The adaptive-adversary subsystem (internal/attack)
+// mirrors the defense and topology registries: strategies resolve by
+// name in AttackSpec workloads and the Sweep.Attacks axis, and third
+// parties register their own through RegisterAttack.
+type (
+	// AttackStrategy decides, per control tick, how each attack sender
+	// transmits; see the interface's hooks for feedback observation and
+	// packet crafting.
+	AttackStrategy = attack.Strategy
+	// AttackBuilder constructs a strategy from build options.
+	AttackBuilder = attack.Builder
+	// AttackBuildOptions carries rate, packet size, environment and
+	// strategy-specific options to a builder.
+	AttackBuildOptions = attack.BuildOptions
+	// AttackEnv is the scenario view adaptive strategies key off.
+	AttackEnv = attack.Env
+	// AttackDecision is a strategy's per-tick transmission plan.
+	AttackDecision = attack.Decision
+	// AttackSender is one controller-driven attack sender.
+	AttackSender = attack.Sender
+	// AttackController drives one attack workload's senders — the
+	// escape hatch for manual wiring outside the Scenario API.
+	AttackController = attack.Controller
+	// OnOffOptions configures the "onoff-sync" strategy.
+	OnOffOptions = attack.OnOffOptions
+)
+
+// RegisterAttack makes a third-party attack strategy resolvable by name
+// in scenarios and sweeps. In-tree strategies ("flood", "onoff-sync",
+// "request-prio", "replay", "legacy-flood") are pre-registered.
+func RegisterAttack(name string, b AttackBuilder) { attack.Register(name, b) }
+
+// Attacks returns the sorted names of every registered attack strategy.
+func Attacks() []string { return attack.Names() }
+
+// NewAttackStrategy resolves a registered strategy by name and
+// constructs it with the given options.
+func NewAttackStrategy(name string, opts AttackBuildOptions) (AttackStrategy, error) {
+	return attack.Build(name, opts)
+}
+
+// NewAttackController creates a controller driving one strategy
+// instance over manually added senders.
+func NewAttackController(s AttackStrategy, env *AttackEnv) *AttackController {
+	return attack.NewController(s, env)
+}
+
+// StrategicRequestLevel computes the §6.3.1 request-channel attack
+// level: the highest priority whose aggregate admitted attack traffic
+// still saturates the request channel.
+func StrategicRequestLevel(attackers int, bottleneckBps int64, cfg Config) uint8 {
+	return attack.StrategicRequestLevel(attackers, bottleneckBps, cfg)
+}
+
+// TheoremBound returns the Theorem-1 (§3.4, Appendix A) lower bound
+// ρ·C/(G+B) on a sufficient-demand sender's rate limit — the fair-share
+// floor no attack strategy can push a legitimate sender below.
+func TheoremBound(cfg Config, bottleneckBps int64, senders int) float64 {
+	return attack.TheoremBound(cfg, bottleneckBps, senders)
+}
 
 // NewSystem creates a NetFence deployment over net.
 func NewSystem(net *Network, cfg Config) *System { return core.NewSystem(net, cfg) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"netfence/internal/attack"
 	"netfence/internal/metrics"
 )
 
@@ -24,7 +25,11 @@ type Result struct {
 	// ("dumbbell", "parkinglot", "star", "random-as", ...), so sweep
 	// output is self-describing.
 	Topology string
-	Seed     uint64
+	// Attack lists the canonical attack-strategy names of the
+	// scenario's AttackSpec workloads ("+"-joined; empty when the
+	// scenario declares none).
+	Attack string
+	Seed   uint64
 	// Senders is the topology's total sender population.
 	Senders int
 	// Deployed is the effective fraction of source ASes running the
@@ -43,6 +48,13 @@ type Result struct {
 
 	// FairnessProbe: Jain's index across user senders.
 	Jain float64
+
+	// BoundProbe: the per-sender fair share, the discounted Theorem-1
+	// goodput floor ν·ρ·C/(G+B), and whether the measured mean user
+	// goodput clears it.
+	FairShareBps float64
+	BoundBps     float64
+	BoundHolds   bool
 
 	// FCTProbe: transfer-completion aggregate of the file and web
 	// workloads.
@@ -77,6 +89,9 @@ func (r *Result) String() string {
 	if r.Topology != "" {
 		fmt.Fprintf(&b, " %s", r.Topology)
 	}
+	if r.Attack != "" {
+		fmt.Fprintf(&b, " atk=%s", r.Attack)
+	}
 	fmt.Fprintf(&b, " seed=%d n=%d", r.Seed, r.Senders)
 	if r.Deployed < 1 {
 		fmt.Fprintf(&b, " deploy=%.0f%%", 100*r.Deployed)
@@ -85,6 +100,9 @@ func (r *Result) String() string {
 	if r.UserBps > 0 || r.AttackerBps > 0 {
 		fmt.Fprintf(&b, " user=%.0fkbps attacker=%.0fkbps ratio=%.2f jain=%.2f util=%.0f%%",
 			r.UserBps/1000, r.AttackerBps/1000, r.Ratio, r.Jain, 100*r.Utilization)
+	}
+	if r.BoundBps > 0 {
+		fmt.Fprintf(&b, " floor=%.0fkbps holds=%v", r.BoundBps/1000, r.BoundHolds)
 	}
 	if r.FCT.Count+r.FCT.Failed > 0 {
 		fmt.Fprintf(&b, " fct=%.2fs p95=%.2fs completion=%.0f%%",
@@ -96,7 +114,7 @@ func (r *Result) String() string {
 // FormatResults renders a result set as an aligned table — the unified
 // output of RunAll and Sweep.Run.
 func FormatResults(results []*Result) string {
-	cols := []string{"scenario", "defense", "topo", "seed", "senders", "deploy",
+	cols := []string{"scenario", "defense", "topo", "attack", "seed", "senders", "deploy",
 		"user kbps", "atk kbps", "ratio", "jain", "util", "fct(s)", "compl"}
 	rows := [][]string{}
 	for _, r := range results {
@@ -112,8 +130,12 @@ func FormatResults(results []*Result) string {
 		if topoName == "" {
 			topoName = "-"
 		}
+		atkName := r.Attack
+		if atkName == "" {
+			atkName = "-"
+		}
 		rows = append(rows, []string{
-			r.Scenario, r.Defense, topoName,
+			r.Scenario, r.Defense, topoName, atkName,
 			fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%d", r.Senders),
 			fmt.Sprintf("%.0f%%", 100*r.Deployed),
 			fmt.Sprintf("%.0f", r.UserBps/1000), fmt.Sprintf("%.0f", r.AttackerBps/1000),
@@ -225,6 +247,61 @@ func (FCTProbe) finish(env *scenarioEnv, res *Result) {
 		P95Sec:     f.Percentile(95).Seconds(),
 		Completion: f.CompletionRatio(),
 	}
+}
+
+// BoundProbe computes the Theorem-1 (§3.4, Appendix A) fair-share floor
+// for the scenario and checks the measured mean user goodput against it.
+// Appendix A bounds the rate LIMIT of any sender with sufficient demand:
+// r_a ≥ ρ·C/(G+B) with ρ = (1-MD)³, in every steady-state control
+// interval, regardless of the attackers' strategy; realized goodput is
+// ν·r_a for a transport of efficiency ν. The probe therefore records the
+// discounted floor ν·ρ·C/(G+B) in Result.BoundBps and whether the mean
+// user goodput clears it in Result.BoundHolds — the guarantee a defense
+// must keep under every adaptive strategy, which the strategic
+// experiment sweeps.
+type BoundProbe struct {
+	// Nu is the assumed transport efficiency ν discounting the
+	// rate-limit bound down to a goodput floor (0 = 0.5, conservative
+	// for the evaluation's TCP workloads at small scales).
+	Nu float64
+}
+
+func (BoundProbe) install(env *scenarioEnv) error {
+	// The floor ρ·C/(G+B) is a single-link statement: on a
+	// multi-bottleneck topology the sender groups traverse different
+	// links, so dividing one link's capacity by every group's senders
+	// would deflate the floor into a vacuously-passing check. Fail fast
+	// instead.
+	if len(env.bottlenecks) != 1 {
+		return fmt.Errorf("BoundProbe: the Theorem-1 floor needs a single-bottleneck topology (this one tags %d)", len(env.bottlenecks))
+	}
+	return nil
+}
+
+func (p BoundProbe) finish(env *scenarioEnv, res *Result) {
+	window := (env.duration - env.warmup).Seconds()
+	if window <= 0 {
+		return
+	}
+	senders := env.builtTopo.senderCount()
+	if senders == 0 {
+		return
+	}
+	nu := p.Nu
+	if nu <= 0 {
+		nu = attack.DefaultNu
+	}
+	res.FairShareBps = float64(env.bottleneckBps()) / float64(senders)
+	res.BoundBps = nu * attack.TheoremBound(env.nfConfig(), env.bottleneckBps(), senders)
+	// Measured independently of GoodputProbe so probe order is free.
+	var rates []float64
+	for _, m := range env.meters {
+		if !m.attacker {
+			rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+		}
+	}
+	mean, _ := metrics.MeanStd(rates)
+	res.BoundHolds = len(rates) > 0 && mean >= res.BoundBps
 }
 
 // TimeseriesProbe samples aggregate user and attacker goodput every

@@ -2,6 +2,7 @@ package netfence
 
 import (
 	"fmt"
+	"strings"
 
 	// The baselines self-register in the defense registry; scenarios
 	// resolve them by name, so link them in explicitly.
@@ -119,6 +120,10 @@ type scenarioEnv struct {
 	denySet  map[packet.NodeID]bool
 	stoppers []interface{ Stop() }
 
+	// attacks lists the canonical strategy names of the scenario's
+	// AttackSpec workloads, in attachment order, for Result.Attack.
+	attacks []string
+
 	// deployed is the effective deployed fraction of source ASes.
 	deployed float64
 
@@ -189,6 +194,27 @@ func (env *scenarioEnv) ensureListener(group int) {
 // bottleneckBps is the (first) bottleneck capacity, for strategic attack
 // computations.
 func (env *scenarioEnv) bottleneckBps() int64 { return env.bottlenecks[0].Rate }
+
+// nfConfig is the scenario's NetFence configuration — the deployed one
+// when the defense is NetFence with an explicit config, the Figure 3
+// defaults otherwise (attackers key off the public protocol parameters
+// either way).
+func (env *scenarioEnv) nfConfig() Config {
+	if c, ok := env.sc.Defense.Config.(Config); ok {
+		return c
+	}
+	return core.DefaultConfig()
+}
+
+// recordAttack notes an attached attack strategy once for Result.Attack.
+func (env *scenarioEnv) recordAttack(name string) {
+	for _, a := range env.attacks {
+		if a == name {
+			return
+		}
+	}
+	env.attacks = append(env.attacks, name)
+}
 
 // snapshotWarm marks every meter and bottleneck at the warmup boundary.
 func (env *scenarioEnv) snapshotWarm() {
@@ -322,6 +348,7 @@ func (in *Instance) Run() *Result {
 		Scenario:    in.Scenario.Name,
 		Defense:     in.System.Name(),
 		Topology:    in.env.builtTopo.name,
+		Attack:      strings.Join(in.env.attacks, "+"),
 		Seed:        in.Scenario.Seed,
 		Senders:     in.env.builtTopo.senderCount(),
 		Deployed:    in.env.deployed,

@@ -4,13 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
+	"netfence/internal/attack"
 	"netfence/internal/defense"
 )
 
 // Sweep fans a scenario matrix — defenses × populations × deployment
-// fractions × seeds — across goroutines, one engine per scenario, and
+// fractions × attacks × seeds — across goroutines, one engine per scenario, and
 // returns a unified result set. Results are deterministic: the matrix
 // expands in a fixed order, every scenario runs on its own seeded
 // engine, and results land in matrix order regardless of worker count,
@@ -42,6 +44,11 @@ type Sweep struct {
 	// DeployFraction (nil = just Base's Deployment). The incremental-
 	// deployment axis of the paper's "inside out" story.
 	DeployFractions []float64
+	// Attacks lists attack-strategy registry names to sweep: each cell
+	// re-targets every AttackSpec workload of the cell's scenario (from
+	// Base or BaseFor) at that strategy (nil = keep the workloads'
+	// declared strategies). The adaptive-adversary axis of §6.3.
+	Attacks []string
 	// Seeds lists RNG seeds to sweep (nil = just Base's).
 	Seeds []uint64
 	// Parallelism caps concurrent scenarios (0 = GOMAXPROCS).
@@ -49,7 +56,8 @@ type Sweep struct {
 }
 
 // Scenarios expands the matrix in its deterministic order:
-// defense-major, then population, then deployment fraction, then seed.
+// defense-major, then population, then deployment fraction, then attack,
+// then seed.
 func (sw Sweep) Scenarios() []Scenario {
 	defenses := sw.Defenses
 	if len(defenses) == 0 {
@@ -76,6 +84,11 @@ func (sw Sweep) Scenarios() []Scenario {
 	if !sweepDeploy {
 		deploys = []float64{-1}
 	}
+	attacks := sw.Attacks
+	sweepAttack := len(attacks) > 0
+	if !sweepAttack {
+		attacks = []string{""}
+	}
 	seeds := sw.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{sw.Base.Seed}
@@ -93,50 +106,83 @@ func (sw Sweep) Scenarios() []Scenario {
 	for _, d := range defenses {
 		for _, pop := range pops {
 			for _, dep := range deploys {
-				for _, seed := range seeds {
-					sc := sw.Base
-					if pop > 0 {
-						if sw.BaseFor != nil {
-							sc = sw.BaseFor(pop)
-						} else if sc.Topology != nil {
-							sc.Topology = sc.Topology.withPopulation(pop)
+				for _, atk := range attacks {
+					for _, seed := range seeds {
+						sc := sw.Base
+						if pop > 0 {
+							if sw.BaseFor != nil {
+								sc = sw.BaseFor(pop)
+							} else if sc.Topology != nil {
+								sc.Topology = sc.Topology.withPopulation(pop)
+							}
 						}
-					}
-					// A system-specific config only survives onto its own
-					// system; other cells fall back to defaults. The cell's
-					// scenario (Base or BaseFor's output) owns the config.
-					cellDefense := defense.Canonical(sc.Defense.Name)
-					if cellDefense == "" {
-						cellDefense = baseDefense
-					}
-					cellConfig := sc.Defense.Config
-					if cellConfig == nil && cellDefense == baseDefense {
-						cellConfig = sw.Base.Defense.Config
-					}
-					sc.Defense = DefenseSpec{Name: d}
-					if defense.Canonical(d) == cellDefense {
-						sc.Defense.Config = cellConfig
-					}
-					sc.Seed = seed
-					// A registry-resolved spec on its builder default has
-					// no declared population; omit the segment rather
-					// than reporting a misleading n=0.
-					popSeg := ""
-					if sc.Topology != nil {
-						if n := sc.Topology.population(); n > 0 {
-							popSeg = fmt.Sprintf("/n=%d", n)
+						// A system-specific config only survives onto its own
+						// system; other cells fall back to defaults. The cell's
+						// scenario (Base or BaseFor's output) owns the config.
+						cellDefense := defense.Canonical(sc.Defense.Name)
+						if cellDefense == "" {
+							cellDefense = baseDefense
 						}
+						cellConfig := sc.Defense.Config
+						if cellConfig == nil && cellDefense == baseDefense {
+							cellConfig = sw.Base.Defense.Config
+						}
+						sc.Defense = DefenseSpec{Name: d}
+						if defense.Canonical(d) == cellDefense {
+							sc.Defense.Config = cellConfig
+						}
+						sc.Seed = seed
+						// A registry-resolved spec on its builder default has
+						// no declared population; omit the segment rather
+						// than reporting a misleading n=0.
+						popSeg := ""
+						if sc.Topology != nil {
+							if n := sc.Topology.population(); n > 0 {
+								popSeg = fmt.Sprintf("/n=%d", n)
+							}
+						}
+						deploySeg := ""
+						if sweepDeploy {
+							sc.Deployment = DeployFraction(dep)
+							deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
+						}
+						attackSeg := ""
+						if sweepAttack {
+							sc.Workloads = retargetAttacks(sc.Workloads, atk)
+							attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
+						}
+						sc.Name = fmt.Sprintf("%s/%s%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, attackSeg, seed)
+						out = append(out, sc)
 					}
-					deploySeg := ""
-					if sweepDeploy {
-						sc.Deployment = DeployFraction(dep)
-						deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
-					}
-					sc.Name = fmt.Sprintf("%s/%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, seed)
-					out = append(out, sc)
 				}
 			}
 		}
+	}
+	return out
+}
+
+// retargetAttacks copies a workload list with every AttackSpec pointed
+// at the given strategy, leaving the input (shared with Base across
+// matrix cells) untouched. Strategy-specific Options only survive onto
+// cells of their own declared strategy — the same rule the defense axis
+// applies to Defense.Config — so a foreign strategy's cells build with
+// defaults instead of erroring on an option type they reject.
+func retargetAttacks(ws []Workload, strategy string) []Workload {
+	out := make([]Workload, len(ws))
+	for i, w := range ws {
+		if as, ok := w.(AttackSpec); ok {
+			declared := as.Strategy
+			if declared == "" {
+				declared = "flood"
+			}
+			if attack.Canonical(declared) != attack.Canonical(strategy) {
+				as.Options = nil
+			}
+			as.Strategy = strategy
+			out[i] = as
+			continue
+		}
+		out[i] = w
 	}
 	return out
 }
@@ -161,7 +207,52 @@ func (sw Sweep) Run() ([]*Result, error) {
 			return nil, fmt.Errorf("netfence: Sweep deployment fraction %v outside [0, 1]", f)
 		}
 	}
+	if err := sw.checkAttacks(); err != nil {
+		return nil, err
+	}
 	return runParallel(sw.Scenarios(), sw.Parallelism)
+}
+
+// checkAttacks fails fast on an unknown attack name — naming the
+// offending entry and the registered strategies instead of erroring
+// from deep inside workload attachment — and on an Attacks axis with no
+// AttackSpec workload to re-target (without this, every /attack= cell
+// would silently run identical workloads). With BaseFor the check
+// probes the first population cell's generated scenario.
+func (sw Sweep) checkAttacks() error {
+	for i, a := range sw.Attacks {
+		if !attack.Registered(a) {
+			return fmt.Errorf("netfence: Sweep attack %q (index %d) is not a registered strategy (registered: %s)",
+				a, i, strings.Join(attack.Names(), ", "))
+		}
+	}
+	if len(sw.Attacks) == 0 {
+		return nil
+	}
+	// The cells' workloads come from BaseFor when a positive population
+	// reaches it; otherwise (no Populations and a population-less
+	// registry topology) Scenarios falls back to Base's workloads, so
+	// check whichever set the cells will actually run.
+	workloads := sw.Base.Workloads
+	where := "Base"
+	if sw.BaseFor != nil {
+		pop := 0
+		if len(sw.Populations) > 0 {
+			pop = sw.Populations[0]
+		} else if sw.Base.Topology != nil {
+			pop = sw.Base.Topology.population()
+		}
+		if pop > 0 {
+			workloads = sw.BaseFor(pop).Workloads
+			where = "BaseFor"
+		}
+	}
+	for _, w := range workloads {
+		if _, ok := w.(AttackSpec); ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("netfence: Sweep.Attacks is set, but %s has no AttackSpec workload to re-target", where)
 }
 
 // checkPopulation fails fast when a population cell is too small for

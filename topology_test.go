@@ -11,13 +11,18 @@ import (
 	"netfence"
 )
 
-// TestGraphGoldenEquivalence proves the Graph-builder reimplementation
-// of Dumbbell and ParkingLot is byte-identical to the pre-refactor
-// wiring: the quickstart scenario, the 4-defense × 2-seed sweep and a
-// parking-lot cell reproduce the pre-refactor Results seed for seed
-// (testdata/golden_prerefactor.json was emitted by the old builders).
+// TestGraphGoldenEquivalence pins the scenario layer's measured results
+// seed for seed: the quickstart scenario, the 4-defense × 2-seed sweep
+// and a parking-lot cell must reproduce testdata/golden_results.json
+// exactly, so any accidental behavior change in the topology builders,
+// the defense deployments or the transports shows up as a diff. The
+// fixture was first emitted by the pre-refactor builders (proving the
+// Graph reimplementation byte-identical) and re-pinned after the §4.2
+// request-priority escalation fix intentionally changed NetFence
+// sender behavior (feedback-less packets now climb priority levels with
+// waiting time instead of holding level 0).
 func TestGraphGoldenEquivalence(t *testing.T) {
-	raw, err := os.ReadFile("testdata/golden_prerefactor.json")
+	raw, err := os.ReadFile("testdata/golden_results.json")
 	if err != nil {
 		t.Fatal(err)
 	}

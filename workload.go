@@ -3,7 +3,7 @@ package netfence
 import (
 	"fmt"
 
-	"netfence/internal/core"
+	"netfence/internal/attack"
 	"netfence/internal/packet"
 	"netfence/internal/transport"
 )
@@ -346,11 +346,7 @@ func (w RequestFlood) attach(env *scenarioEnv) error {
 		if len(env.bottlenecks) == 0 {
 			return fmt.Errorf("RequestFlood: Strategic needs a topology with a tagged bottleneck link")
 		}
-		cfg := core.DefaultConfig()
-		if c, ok := env.sc.Defense.Config.(Config); ok {
-			cfg = c
-		}
-		level = core.StrategicRequestLevel(len(w.Senders), env.bottleneckBps(), cfg)
+		level = attack.StrategicRequestLevel(len(w.Senders), env.bottleneckBps(), env.nfConfig())
 	}
 	env.ensureListener(w.Group)
 	for _, idx := range w.Senders {
@@ -364,5 +360,93 @@ func (w RequestFlood) attach(env *scenarioEnv) error {
 		env.stoppers = append(env.stoppers, f)
 		f.Start()
 	}
+	return nil
+}
+
+// AttackSpec attaches an adaptive attack workload: every listed sender
+// is driven by a strategy resolved by name from the attack registry
+// ("flood", "onoff-sync", "request-prio", "replay", "legacy-flood", or
+// any RegisterAttack registration). Strategies decide per control tick
+// how fast each sender transmits, observe the feedback the network
+// returns, and may craft each packet's channel, priority and presented
+// feedback — the §6.3 strategic adversaries as first-class workloads.
+// Attack senders count as attackers for the goodput probes; victim-bound
+// senders join the deny set when the scenario sets DenyAttackers.
+type AttackSpec struct {
+	// Strategy is the attack-registry name; empty means "flood".
+	Strategy string
+	Senders  []int
+	Group    int
+	// RateBps is the per-sender attack rate (0 = the paper's 1 Mbps).
+	RateBps int64
+	// PktSize is the on-wire packet size (0 = the strategy's default).
+	PktSize int32
+	// ToColluders aims the attack at the group's colluder hosts
+	// (round-robin) instead of the victim — the colluding receivers of
+	// §6.3.2, who dutifully return feedback and are never denied.
+	ToColluders bool
+	// Options configures the strategy (its registered options type,
+	// e.g. OnOffOptions for "onoff-sync"); nil selects defaults.
+	Options any
+}
+
+func (w AttackSpec) span() (string, int, int) {
+	return "AttackSpec", w.Group, maxIndex(w.Senders)
+}
+
+func (w AttackSpec) attach(env *scenarioEnv) error {
+	name := w.Strategy
+	if name == "" {
+		name = "flood"
+	}
+	grp, err := env.group(w.Group, "AttackSpec")
+	if err != nil {
+		return err
+	}
+	if w.ToColluders && len(grp.colluders) == 0 {
+		return fmt.Errorf("AttackSpec(%s): topology has no colluder hosts in group %d (set ColluderASes)", name, w.Group)
+	}
+	if !w.ToColluders {
+		if _, err := grp.victimHost("AttackSpec"); err != nil {
+			return err
+		}
+	}
+	aenv := &attack.Env{
+		Eng:       env.eng,
+		Attackers: len(w.Senders),
+		Config:    env.nfConfig(),
+	}
+	if len(env.bottlenecks) > 0 {
+		aenv.BottleneckBps = env.bottleneckBps()
+	}
+	strat, err := attack.Build(name, attack.BuildOptions{
+		RateBps: w.RateBps,
+		PktSize: w.PktSize,
+		Env:     aenv,
+		Options: w.Options,
+	})
+	if err != nil {
+		return err
+	}
+	ctrl := attack.NewController(strat, aenv)
+	for k, idx := range w.Senders {
+		h, err := grp.sender(idx, "AttackSpec")
+		if err != nil {
+			return err
+		}
+		dstHost := grp.victim
+		if w.ToColluders {
+			dstHost = grp.colluders[k%len(grp.colluders)]
+		} else {
+			env.denySet[h.ID] = true
+		}
+		flow := env.net.NextFlow()
+		sink := transport.NewUDPSink(dstHost.Host, flow)
+		env.addMeter(w.Group, idx, true, func() int64 { return int64(sink.Bytes) })
+		ctrl.AddSender(h.Host, dstHost.ID, flow)
+	}
+	env.recordAttack(attack.Canonical(name))
+	env.stoppers = append(env.stoppers, ctrl)
+	ctrl.Start()
 	return nil
 }
