@@ -39,9 +39,17 @@
 // paper (the full 1000-sender, 4000-simulated-second configuration —
 // expect a long run).
 //
-// -bench-json emits a machine-readable benchmark baseline (tiny-scale
-// wall time per experiment family) for perf-trajectory tracking; the
-// checked-in BENCH_PR2.json was generated this way.
+// -bench-json emits a machine-readable benchmark baseline (wall time,
+// events/s and allocs/event per experiment family) for perf-trajectory
+// tracking; the checked-in BENCH_PR4.json was generated this way.
+// -bench-baseline FILE additionally compares the fresh run against a
+// checked-in baseline and exits non-zero when any suite's wall time
+// regressed more than 25% (the CI bench smoke gate). -bench-scale large
+// swaps the tiny figure suite for a single large-scale cell: the seeded
+// random AS-level topology with >=10k senders, demonstrating the
+// headroom the zero-allocation hot path buys.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the run.
 package main
 
 import (
@@ -50,6 +58,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +66,7 @@ import (
 	"netfence"
 	"netfence/internal/defense"
 	"netfence/internal/exp"
+	"netfence/internal/sim"
 )
 
 func main() {
@@ -80,9 +90,47 @@ func main() {
 		duration   = flag.Int("duration", 240, "sweep: simulated seconds per cell")
 		parallel   = flag.Int("parallelism", 0, "sweep: concurrent cells (0 = GOMAXPROCS)")
 
-		benchJSON = flag.Bool("bench-json", false, "emit the tiny-scale benchmark baseline as JSON and exit")
+		benchJSON  = flag.Bool("bench-json", false, "emit the benchmark baseline as JSON and exit")
+		benchScale = flag.String("bench-scale", "tiny", "bench-json: tiny (figure suite) | large (random-as, >=10k senders)")
+		benchBase  = flag.String("bench-baseline", "", "bench-json: baseline JSON to compare against; exit 1 on >25% wall-time regression")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Profile teardown must survive every exit path — fatal() and the
+	// bench-gate os.Exit(1) bypass defers, so they flush explicitly
+	// through the idempotent flushProfiles hook.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		prev := profileFinalizers
+		profileFinalizers = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		prev := profileFinalizers
+		profileFinalizers = func() {
+			f, err := os.Create(path)
+			if err == nil {
+				runtime.GC()
+				pprof.Lookup("allocs").WriteTo(f, 0)
+				f.Close()
+			}
+			prev()
+		}
+	}
+	defer flushProfiles()
 
 	if *list {
 		for _, r := range exp.Runners() {
@@ -109,7 +157,10 @@ func main() {
 		return
 	}
 	if *benchJSON {
-		runBenchJSON()
+		if !runBenchJSON(*benchScale, *benchBase) {
+			flushProfiles()
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -368,49 +419,188 @@ func parseUints(csv string) ([]uint64, error) {
 // adversaries).
 var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy", "strategic"}
 
-// runBenchJSON times each suite member once at tiny scale and emits a
-// JSON baseline, so successive PRs can track the perf trajectory
-// (BENCH_PR2.json is the first checked-in point).
-func runBenchJSON() {
-	type row struct {
-		Name        string  `json:"name"`
-		Scale       string  `json:"scale"`
-		WallSeconds float64 `json:"wall_seconds"`
+// benchRow is one timed suite in the -bench-json report. EventsPerSec and
+// AllocsPerOp are measured over every engine the suite drives (an "op" is
+// one executed simulator event): the zero-allocation hot path shows up
+// directly as allocs_per_op approaching zero.
+type benchRow struct {
+	Name        string  `json:"name"`
+	Scale       string  `json:"scale"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	EventsPer   float64 `json:"events_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Rows      []benchRow `json:"benchmarks"`
+}
+
+// timeSuite runs fn once, accounting wall time, simulator events and heap
+// allocations process-wide.
+func timeSuite(name, scale string, fn func()) benchRow {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	ev0 := sim.TotalExecuted()
+	start := time.Now()
+	fn()
+	wall := time.Since(start).Seconds()
+	events := sim.TotalExecuted() - ev0
+	runtime.ReadMemStats(&m1)
+	row := benchRow{Name: name, Scale: scale, WallSeconds: wall, Events: events}
+	if wall > 0 {
+		row.EventsPer = float64(events) / wall
 	}
-	type report struct {
-		GoVersion string `json:"go_version"`
-		GOOS      string `json:"goos"`
-		GOARCH    string `json:"goarch"`
-		NumCPU    int    `json:"num_cpu"`
-		Rows      []row  `json:"benchmarks"`
+	if events > 0 {
+		row.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(events)
 	}
-	sc, err := exp.ScaleByName("tiny")
-	if err != nil {
-		fatal(err)
+	return row
+}
+
+// runBenchJSON times the benchmark suite and emits a JSON baseline, so
+// successive PRs can track the perf trajectory (BENCH_PR4.json is the
+// current checked-in point). With a baseline file it also enforces the
+// <=25% wall-time regression gate, returning false on violation. A suite
+// over budget is retried up to twice and judged on its best time, so a
+// transient co-tenant spike on a shared runner does not fail the build —
+// a genuine regression reproduces on every attempt.
+func runBenchJSON(scale, baselinePath string) bool {
+	baseline := map[string]float64{}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var base benchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(err)
+		}
+		for _, r := range base.Rows {
+			baseline[r.Name] = r.WallSeconds
+		}
 	}
-	rep := report{
+	// measure runs one suite, retrying over-budget results.
+	measure := func(name, scName string, fn func()) benchRow {
+		row := timeSuite(name, scName, fn)
+		budget, gated := baseline[name]
+		for attempt := 0; gated && budget > 0 && row.WallSeconds > 1.25*budget && attempt < 2; attempt++ {
+			fmt.Fprintf(os.Stderr, "bench: %s over budget (%.2fs vs %.2fs), retrying\n",
+				name, row.WallSeconds, budget)
+			if again := timeSuite(name, scName, fn); again.WallSeconds < row.WallSeconds {
+				row = again
+			}
+		}
+		return row
+	}
+
+	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 	}
-	for _, name := range benchNames {
-		r, err := exp.RunnerByName(name)
+	switch scale {
+	case "tiny":
+		sc, err := exp.ScaleByName("tiny")
 		if err != nil {
 			fatal(err)
 		}
-		start := time.Now()
-		r.Run(sc)
-		rep.Rows = append(rep.Rows, row{Name: name, Scale: sc.Name, WallSeconds: time.Since(start).Seconds()})
+		for _, name := range benchNames {
+			r, err := exp.RunnerByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Rows = append(rep.Rows, measure(name, sc.Name, func() { r.Run(sc) }))
+		}
+	case "large":
+		// The headroom demonstration: one cell on the seeded random
+		// AS-level topology with >=10k senders — a population two to
+		// three orders of magnitude beyond the tiny figure suite, only
+		// tractable with the pooled, allocation-free hot path.
+		rep.Rows = append(rep.Rows, measure("random-as-large", "large", runLargeCell))
+	default:
+		fatal(fmt.Errorf("unknown -bench-scale %q (tiny|large)", scale))
 	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if baselinePath == "" {
+		return true
+	}
+	ok := true
+	for _, r := range rep.Rows {
+		want, found := baseline[r.Name]
+		if !found || want <= 0 {
+			continue
+		}
+		if ratio := r.WallSeconds / want; ratio > 1.25 {
+			fmt.Fprintf(os.Stderr, "bench regression: %s took %.2fs vs baseline %.2fs (+%.0f%%)\n",
+				r.Name, r.WallSeconds, want, 100*(ratio-1))
+			ok = false
+		}
+	}
+	return ok
+}
+
+// runLargeCell runs the large bench scenario: 10,240 senders (25%
+// long-running TCP users, 75% flooding attackers) over the random-as
+// transit core, NetFence fully deployed.
+func runLargeCell() {
+	const pop = 10_240
+	users := pop / 4
+	res, err := netfence.Scenario{
+		Name: "random-as-large",
+		Seed: 1,
+		Topology: netfence.RandomASSpec{
+			Senders: pop,
+			// 100 kbps fair share at the exit bottleneck: a 2x
+			// congested link once the attacker side offers its 200 kbps
+			// per sender, keeping the paper's operating regime at 500x
+			// the tiny-scale population.
+			BottleneckBps: pop * 100_000,
+			SrcASes:       32,
+			ColluderASes:  9,
+		},
+		Defense: netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: netfence.Range(0, users)},
+			netfence.AttackSpec{Senders: netfence.Range(users, pop), RateBps: 200_000, ToColluders: true},
+		},
+		Duration: 20 * netfence.Second,
+		Warmup:   10 * netfence.Second,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, res.String())
+}
+
+// profileFinalizers chains the -cpuprofile/-memprofile teardown;
+// flushProfiles runs it exactly once, on normal return or before any
+// explicit os.Exit (which would bypass defers and truncate the profiles).
+var (
+	profileFinalizers = func() {}
+	profilesFlushed   bool
+)
+
+func flushProfiles() {
+	if profilesFlushed {
+		return
+	}
+	profilesFlushed = true
+	profileFinalizers()
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	flushProfiles()
 	os.Exit(2)
 }

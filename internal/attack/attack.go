@@ -113,10 +113,15 @@ type Sender struct {
 	ctrl     *Controller
 	inner    netsim.Shim
 	dec      Decision
-	ev       *sim.Event
+	ev       sim.Event // owned inter-packet pacing event
 	sending  bool
 	crafting bool
 }
+
+// senderPace dispatches the sender's owned pacing event.
+type senderPace Sender
+
+func (h *senderPace) OnEvent(sim.Time, any) { (*Sender)(h).sendNext() }
 
 // Egress implements netsim.Shim: controller-emitted packets are offered
 // to the strategy's Craft hook first; packets it declines — and all
@@ -173,10 +178,7 @@ func (s *Sender) apply(d Decision) {
 	prev := s.dec
 	s.dec = d
 	if d.RateBps <= 0 {
-		if s.ev != nil {
-			s.ev.Cancel()
-			s.ev = nil
-		}
+		s.ev.Cancel()
 		s.sending = false
 		return
 	}
@@ -186,9 +188,7 @@ func (s *Sender) apply(d Decision) {
 		return
 	}
 	if d.RateBps != prev.RateBps || d.PktSize != prev.PktSize {
-		if s.ev != nil {
-			s.ev.Cancel()
-		}
+		s.ev.Cancel()
 		s.sendNext()
 	}
 }
@@ -199,7 +199,7 @@ func (s *Sender) sendNext() {
 		return
 	}
 	s.emit()
-	s.ev = s.Env.Eng.After(sim.TxTime(int(s.dec.PktSize), s.dec.RateBps), s.sendNext)
+	s.Env.Eng.ScheduleEvent(&s.ev, s.Env.Eng.Now()+sim.TxTime(int(s.dec.PktSize), s.dec.RateBps), (*senderPace)(s), nil)
 }
 
 // emit sends one packet through the host stack; the crafting flag routes
@@ -209,14 +209,13 @@ func (s *Sender) emit() {
 	if payload < 0 {
 		payload = 0
 	}
-	p := &packet.Packet{
-		Dst:     s.Dst,
-		Flow:    s.Flow,
-		Kind:    packet.KindRegular,
-		Proto:   packet.ProtoUDP,
-		Size:    s.dec.PktSize,
-		Payload: payload,
-	}
+	p := s.Host.NewPacket()
+	p.Dst = s.Dst
+	p.Flow = s.Flow
+	p.Kind = packet.KindRegular
+	p.Proto = packet.ProtoUDP
+	p.Size = s.dec.PktSize
+	p.Payload = payload
 	s.crafting = true
 	s.Host.Send(p)
 	s.crafting = false
@@ -305,10 +304,7 @@ func (c *Controller) Stop() {
 	c.running = false
 	c.ticker.Stop()
 	for _, s := range c.senders {
-		if s.ev != nil {
-			s.ev.Cancel()
-			s.ev = nil
-		}
+		s.ev.Cancel()
 		s.sending = false
 		if s.Host.Shim == netsim.Shim(s) {
 			s.Host.Shim = s.inner

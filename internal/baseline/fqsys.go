@@ -22,7 +22,9 @@ func (*FQ) Name() string { return "FQ" }
 
 // ProtectLink installs a per-sender DRR queue.
 func (*FQ) ProtectLink(l *netsim.Link) {
-	l.Q = fq.NewDRR(fq.BySender, packet.SizeData, queueLimit(l.Rate))
+	q := fq.NewDRR(fq.BySender, packet.SizeData, queueLimit(l.Rate))
+	q.Release = l.From.Network().Release
+	l.Q = q
 }
 
 // ProtectAccess does nothing: FQ has no access-router role.

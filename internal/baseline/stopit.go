@@ -50,8 +50,10 @@ func (*StopIt) Name() string { return "StopIt" }
 
 // ProtectLink installs AS-then-sender hierarchical fair queuing.
 func (s *StopIt) ProtectLink(l *netsim.Link) {
+	main := fq.NewHDRR(fq.BySourceAS, fq.BySender, packet.SizeData, queueLimit(l.Rate))
+	main.Release = l.From.Network().Release
 	l.Q = &stopitQueue{
-		main:   fq.NewHDRR(fq.BySourceAS, fq.BySender, packet.SizeData, queueLimit(l.Rate)),
+		main:   main,
 		legacy: aqm.NewDropTail(queueLimit(l.Rate) / 10),
 	}
 }
@@ -106,6 +108,7 @@ func (sa *stopitAccess) ingress(p *packet.Packet, from *netsim.Link) bool {
 	if until, ok := sa.filters[[2]packet.NodeID{p.Src, p.Dst}]; ok {
 		if now <= until && now >= until-sa.sys.FilterDuration {
 			sa.Blocked++
+			sa.node.Network().Release(p) // filtered: end of life
 			return false
 		}
 		if now > until {

@@ -38,7 +38,10 @@ func (*TVA) Name() string { return "TVA+" }
 
 // ProtectLink installs the TVA+ two-channel queue.
 func (t *TVA) ProtectLink(l *netsim.Link) {
-	l.Q = newTVAQueue(t, l.Rate)
+	q := newTVAQueue(t, l.Rate)
+	q.req.Release = l.From.Network().Release
+	q.reg.Release = l.From.Network().Release
+	l.Q = q
 }
 
 // ProtectAccess does nothing: TVA+ polices at congested routers, not at
@@ -248,11 +251,11 @@ func (t *tvaShim) ensureRefresh(peer packet.NodeID, ps *tvaPeer) {
 		if now-ps.lastSent < interval {
 			return
 		}
-		t.host.Send(&packet.Packet{
-			Dst:   peer,
-			Flow:  ps.lastFlow,
-			Proto: packet.ProtoCap,
-			Size:  packet.SizeFeedbackPkt,
-		})
+		p := t.host.NewPacket()
+		p.Dst = peer
+		p.Flow = ps.lastFlow
+		p.Proto = packet.ProtoCap
+		p.Size = packet.SizeFeedbackPkt
+		t.host.Send(p)
 	})
 }

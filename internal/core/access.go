@@ -166,6 +166,7 @@ func (ar *AccessRouter) handleRequest(p *packet.Packet) bool {
 	}
 	if !rl.Admit(p.Prio, now) {
 		ar.ReqDropped++
+		ar.node.Network().Release(p)
 		return false
 	}
 	ar.ReqAdmitted++
@@ -190,6 +191,7 @@ func (ar *AccessRouter) submit(lim *regLimiter, p *packet.Packet) bool {
 		// Congestion quota spent (§7): the sender has pushed too much
 		// traffic through this bottleneck while congesting it.
 		ar.QuotaDrops++
+		ar.node.Network().Release(p)
 		return false
 	}
 	switch lim.pol.Submit(p) {
@@ -198,9 +200,10 @@ func (ar *AccessRouter) submit(lim *regLimiter, p *packet.Packet) bool {
 		lim.stampForward(p)
 		return true
 	case ratelimit.Cached:
-		return false // forwarded later
+		return false // the limiter now owns the packet and forwards it later
 	default:
 		ar.LimiterDrops++
+		ar.node.Network().Release(p)
 		return false
 	}
 }

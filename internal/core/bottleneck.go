@@ -40,6 +40,7 @@ func (s *System) protect(l *netsim.Link) *Bottleneck {
 		q:    newNFQueue(&s.Cfg, l.Rate, l.From.Network().Eng.Rand),
 		det:  &aqm.LossDetector{Pth: s.Cfg.Pth, Alpha: 0.1},
 	}
+	b.q.release = l.From.Network().Release
 	if s.Cfg.UtilDetect {
 		b.util = aqm.NewUtilDetector(l.Rate)
 		b.util.Threshold = s.Cfg.UtilThreshold

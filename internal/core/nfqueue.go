@@ -53,6 +53,10 @@ type nfQueue struct {
 	// failures are dropped.
 	verify      func(p *packet.Packet) bool
 	verifyFails uint64
+
+	// release recycles packets the queue drops internally (displaced
+	// request-channel victims); nil leaves them to the garbage collector.
+	release func(p *packet.Packet)
 }
 
 func newNFQueue(cfg *Config, rateBps int64, rng *rand.Rand) *nfQueue {
@@ -85,6 +89,7 @@ func (q *nfQueue) enableFallback(now sim.Time, clock func() sim.Time) {
 		return
 	}
 	q.fallback = fq.NewHDRR(fq.BySourceAS, fq.BySender, packet.SizeData, q.fbLimit)
+	q.fallback.Release = q.release
 	q.fbDropByAS = make(map[packet.ASID]sim.Time)
 	q.fbClock = clock
 	q.fallback.OnDrop = func(p *packet.Packet) {
@@ -176,6 +181,9 @@ func (q *nfQueue) enqueueRequest(p *packet.Packet, now sim.Time) bool {
 		q.reqBytes -= int(victim.Size)
 		q.reqStats.Dropped++
 		q.reqStats.DroppedBytes += uint64(victim.Size)
+		if q.release != nil {
+			q.release(victim)
+		}
 	}
 	p.EnqueuedAt = now
 	q.req[lvl].Push(p)
@@ -274,17 +282,22 @@ func (q *nfQueue) Bytes() int {
 	return b
 }
 
-// Stats returns counters aggregated over all channels.
+// Stats returns counters aggregated over all channels. (Accumulated
+// without intermediate slices: detectors poll stats every tick.)
 func (q *nfQueue) Stats() queue.Stats {
 	s := q.RegularStats()
-	for _, t := range []queue.Stats{q.reqStats, q.legacy.Stats()} {
-		s.Enqueued += t.Enqueued
-		s.Dequeued += t.Dequeued
-		s.Dropped += t.Dropped
-		s.DequeuedBytes += t.DequeuedBytes
-		s.DroppedBytes += t.DroppedBytes
-	}
+	s = addStats(s, q.reqStats)
+	s = addStats(s, q.legacy.Stats())
 	s.Dropped += q.verifyFails
+	return s
+}
+
+func addStats(s, t queue.Stats) queue.Stats {
+	s.Enqueued += t.Enqueued
+	s.Dequeued += t.Dequeued
+	s.Dropped += t.Dropped
+	s.DequeuedBytes += t.DequeuedBytes
+	s.DroppedBytes += t.DroppedBytes
 	return s
 }
 
@@ -293,12 +306,7 @@ func (q *nfQueue) Stats() queue.Stats {
 func (q *nfQueue) RegularStats() queue.Stats {
 	s := q.red.Stats()
 	if q.fallback != nil {
-		t := q.fallback.Stats()
-		s.Enqueued += t.Enqueued
-		s.Dequeued += t.Dequeued
-		s.Dropped += t.Dropped
-		s.DequeuedBytes += t.DequeuedBytes
-		s.DroppedBytes += t.DroppedBytes
+		s = addStats(s, q.fallback.Stats())
 	}
 	return s
 }

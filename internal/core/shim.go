@@ -242,11 +242,11 @@ func (sh *HostShim) ensureEcho(peer packet.NodeID, ps *peerState) {
 		if !ps.toReturn.Present && !ps.toReturnM.Present {
 			return
 		}
-		sh.host.Send(&packet.Packet{
-			Dst:   peer,
-			Flow:  ps.lastFlow,
-			Proto: packet.ProtoFeedback,
-			Size:  packet.SizeFeedbackPkt,
-		})
+		p := sh.host.NewPacket()
+		p.Dst = peer
+		p.Flow = ps.lastFlow
+		p.Proto = packet.ProtoFeedback
+		p.Size = packet.SizeFeedbackPkt
+		sh.host.Send(p)
 	})
 }

@@ -144,17 +144,23 @@ func Validate(ring *KeyRing, kai KaiLookup, p *packet.Packet, nowSec uint32, wSe
 	if diff := int64(nowSec) - int64(fb.TS); diff > int64(wSec) || diff < -int64(wSec) {
 		return Invalid
 	}
+	// Check against the current key, then (if rotated) the previous one —
+	// KeyRing.Check's contract, unrolled so the per-packet hot path does
+	// not allocate a predicate closure.
+	cur, prev := ring.Keys()
 	switch {
 	case fb.Mode == packet.FBNop:
-		if ring.Check(func(k *cmac.CMAC) bool {
-			return NopMAC(k, p.Src, p.Dst, fb.TS) == fb.MAC
-		}) {
+		if NopMAC(cur, p.Src, p.Dst, fb.TS) == fb.MAC {
+			return ValidNop
+		}
+		if prev != cur && NopMAC(prev, p.Src, p.Dst, fb.TS) == fb.MAC {
 			return ValidNop
 		}
 	case fb.Action == packet.ActIncr:
-		if ring.Check(func(k *cmac.CMAC) bool {
-			return IncrMAC(k, p.Src, p.Dst, fb.TS, fb.Link) == fb.MAC
-		}) {
+		if IncrMAC(cur, p.Src, p.Dst, fb.TS, fb.Link) == fb.MAC {
+			return ValidMon
+		}
+		if prev != cur && IncrMAC(prev, p.Src, p.Dst, fb.TS, fb.Link) == fb.MAC {
 			return ValidMon
 		}
 	default: // mon + decr
@@ -162,10 +168,10 @@ func Validate(ring *KeyRing, kai KaiLookup, p *packet.Packet, nowSec uint32, wSe
 		if key == nil {
 			return Invalid
 		}
-		if ring.Check(func(k *cmac.CMAC) bool {
-			tokennop := NopMAC(k, p.Src, p.Dst, fb.TS)
-			return DecrMAC(key, p.Src, p.Dst, fb.TS, fb.Link, tokennop) == fb.MAC
-		}) {
+		if DecrMAC(key, p.Src, p.Dst, fb.TS, fb.Link, NopMAC(cur, p.Src, p.Dst, fb.TS)) == fb.MAC {
+			return ValidMon
+		}
+		if prev != cur && DecrMAC(key, p.Src, p.Dst, fb.TS, fb.Link, NopMAC(prev, p.Src, p.Dst, fb.TS)) == fb.MAC {
 			return ValidMon
 		}
 	}

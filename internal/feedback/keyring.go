@@ -52,6 +52,12 @@ func (r *KeyRing) Rotate(rng *rand.Rand) {
 // Current returns the stamping key.
 func (r *KeyRing) Current() *cmac.CMAC { return r.current }
 
+// Keys returns the current and previous validation keys; prev equals
+// current before the first rotation. Hot paths iterate the pair directly
+// instead of going through Check, whose predicate closure would allocate
+// per packet.
+func (r *KeyRing) Keys() (current, prev *cmac.CMAC) { return r.current, r.prev }
+
 // Check runs a validation predicate against the current key, then the
 // previous key, accepting if either succeeds — the rotation grace period.
 func (r *KeyRing) Check(check func(*cmac.CMAC) bool) bool {

@@ -42,10 +42,15 @@ type DRR struct {
 	// OnDrop, when set, observes every dropped packet (arriving or
 	// evicted), letting callers attribute congestion to flows or ASes.
 	OnDrop func(p *packet.Packet)
-	flows  map[uint64]*flowQ
-	active []*flowQ // round-robin list of backlogged flows
-	bytes  int
-	stats  queue.Stats
+	// Release, when set, recycles packets the queue drops internally
+	// (longest-queue eviction victims). Arriving packets the queue
+	// rejects stay with the caller, which releases them after its own
+	// observers run.
+	Release func(p *packet.Packet)
+	flows   map[uint64]*flowQ
+	active  []*flowQ // round-robin list of backlogged flows
+	bytes   int
+	stats   queue.Stats
 }
 
 // NewDRR returns a DRR queue with the given flow key, quantum (use the
@@ -78,6 +83,9 @@ func (d *DRR) Enqueue(p *packet.Packet, now sim.Time) bool {
 		victim.bytes -= int(dropped.Size)
 		d.bytes -= int(dropped.Size)
 		d.drop(dropped)
+		if d.Release != nil {
+			d.Release(dropped)
+		}
 	}
 	f := d.flow(p)
 	p.EnqueuedAt = now

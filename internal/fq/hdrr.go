@@ -18,7 +18,9 @@ type HDRR struct {
 	limitBytes int
 	// OnDrop, when set, observes every dropped packet (arriving or
 	// evicted).
-	OnDrop    func(p *packet.Packet)
+	OnDrop func(p *packet.Packet)
+	// Release, when set, recycles eviction victims (see DRR.Release).
+	Release   func(p *packet.Packet)
 	classes   map[uint64]*hdrrClass
 	active    []*hdrrClass
 	bytes     int
@@ -104,6 +106,11 @@ func (h *HDRR) evictFrom(c *hdrrClass, want int) {
 			h.OnDrop(p)
 		}
 		freed += int(p.Size)
+		// Recycle last: Release resets the packet, so no field may be
+		// read after it.
+		if h.Release != nil {
+			h.Release(p)
+		}
 	}
 }
 
@@ -117,6 +124,7 @@ func (h *HDRR) class(p *packet.Packet) *hdrrClass {
 			// effectively unlimited private cap.
 			inner: NewDRR(h.innerKey, h.quantum, h.limitBytes),
 		}
+		c.inner.Release = h.Release
 		h.classes[k] = c
 	}
 	return c

@@ -56,6 +56,12 @@ func (h *Host) Agent(flow packet.FlowID) Agent { return h.agents[flow] }
 // Network returns the owning network.
 func (h *Host) Network() *Network { return h.net }
 
+// NewPacket draws a zeroed packet from the network's pool; the packet
+// returns to the pool automatically when the network delivers or drops
+// it. Transports should prefer this over &packet.Packet{} so steady-state
+// sending allocates nothing.
+func (h *Host) NewPacket() *packet.Packet { return h.net.Pool.Get() }
+
 // Send stamps addressing metadata, runs the shim's egress path, and
 // injects p into the network.
 func (h *Host) Send(p *packet.Packet) {

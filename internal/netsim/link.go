@@ -10,12 +10,18 @@ import (
 // serialization delay Size*8/Rate and propagation delay Delay. Replace Q
 // before traffic flows to install a discipline other than the default
 // unbounded FIFO.
+//
+// The link owns its scheduler events: one reusable transmit-complete
+// event (at most one packet serializes at a time) and one reusable
+// not-yet-eligible retry event; per-packet propagation uses the engine's
+// pooled one-shot events. Steady-state forwarding therefore schedules
+// without allocating.
 type Link struct {
 	Index int
 	ID    packet.LinkID
 	From  *Node
 	To    *Node
-	Rate  int64 // bits per second; <=0 transmits instantaneously
+	Rate  int64 // bits per second; must be positive
 	Delay sim.Time
 	Q     queue.Queue
 
@@ -24,8 +30,10 @@ type Link struct {
 	// feedback in the mon state (§4.3.2).
 	OnTransmit func(p *packet.Packet, l *Link)
 
-	busy    bool
-	retryEv *sim.Event
+	busy       bool
+	txEv       sim.Event
+	retryEv    sim.Event
+	retryArmed bool
 
 	// TxPackets and TxBytes count completed transmissions.
 	TxPackets uint64
@@ -34,12 +42,40 @@ type Link struct {
 	net *Network
 }
 
-// Send enqueues p and starts the transmitter if idle.
+// linkTx dispatches the owned transmit-complete event to its link.
+type linkTx Link
+
+func (h *linkTx) OnEvent(_ sim.Time, arg any) {
+	(*Link)(h).txDone(arg.(*packet.Packet))
+}
+
+// linkArrive dispatches a pooled propagation event: the packet reaches
+// the link's head end.
+type linkArrive Link
+
+func (h *linkArrive) OnEvent(_ sim.Time, arg any) {
+	l := (*Link)(h)
+	l.net.arrive(arg.(*packet.Packet), l.To, l)
+}
+
+// linkRetry dispatches the owned not-yet-eligible retry event.
+type linkRetry Link
+
+func (h *linkRetry) OnEvent(sim.Time, any) {
+	l := (*Link)(h)
+	l.retryArmed = false
+	l.tryTransmit()
+}
+
+// Send enqueues p and starts the transmitter if idle. A packet the queue
+// refuses is dropped: observers see it via Network.OnDrop, then it
+// returns to the packet pool.
 func (l *Link) Send(p *packet.Packet) {
 	if !l.Q.Enqueue(p, l.net.Eng.Now()) {
 		if l.net.OnDrop != nil {
 			l.net.OnDrop(p, l)
 		}
+		l.net.Release(p)
 		return
 	}
 	if !l.busy {
@@ -62,38 +98,38 @@ func (l *Link) tryTransmit() {
 		}
 		return
 	}
-	if l.retryEv != nil {
+	if l.retryArmed {
 		l.retryEv.Cancel()
-		l.retryEv = nil
+		l.retryArmed = false
 	}
 	if l.OnTransmit != nil {
 		l.OnTransmit(p, l)
 	}
 	l.busy = true
 	tx := sim.TxTime(int(p.Size), l.Rate)
-	l.net.Eng.After(tx, func() {
-		l.busy = false
-		l.TxPackets++
-		l.TxBytes += uint64(p.Size)
-		l.net.Eng.After(l.Delay, func() {
-			l.net.arrive(p, l.To, l)
-		})
-		l.tryTransmit()
-	})
+	l.net.Eng.ScheduleEvent(&l.txEv, now+tx, (*linkTx)(l), p)
+}
+
+// txDone completes p's serialization: launch its propagation event and
+// start on the next queued packet.
+func (l *Link) txDone(p *packet.Packet) {
+	l.busy = false
+	l.TxPackets++
+	l.TxBytes += uint64(p.Size)
+	l.net.Eng.Schedule(l.net.Eng.Now()+l.Delay, (*linkArrive)(l), p)
+	l.tryTransmit()
 }
 
 // scheduleRetry arms (or re-arms) the not-yet-eligible retry timer.
 func (l *Link) scheduleRetry(at sim.Time) {
-	if l.retryEv != nil && !l.retryEv.Cancelled() && l.retryEv.Time() <= at {
+	if l.retryArmed && l.retryEv.Time() <= at {
 		return
 	}
-	if l.retryEv != nil {
+	if l.retryArmed {
 		l.retryEv.Cancel()
 	}
-	l.retryEv = l.net.Eng.At(at, func() {
-		l.retryEv = nil
-		l.tryTransmit()
-	})
+	l.retryArmed = true
+	l.net.Eng.ScheduleEvent(&l.retryEv, at, (*linkRetry)(l), nil)
 }
 
 // Utilization returns the fraction of capacity used over an interval,

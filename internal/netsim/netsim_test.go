@@ -246,3 +246,78 @@ func TestLinkUtilization(t *testing.T) {
 		t.Fatalf("utilization = %f", util)
 	}
 }
+
+// TestConnectFailsFast pins the satellite fix: malformed links panic at
+// construction, naming the link, instead of dividing by zero later.
+func TestConnectFailsFast(t *testing.T) {
+	n := New(sim.New(1))
+	a := n.NewNode("a", 1)
+	b := n.NewNode("b", 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero rate", func() { n.Connect(a, b, 0, sim.Millisecond) })
+	mustPanic("negative rate", func() { n.Connect(a, b, -1, sim.Millisecond) })
+	mustPanic("nil node", func() { n.Connect(a, nil, 1_000_000, sim.Millisecond) })
+}
+
+// TestPoolRecyclesDeliveredPackets verifies the end-of-life contract: a
+// pooled packet returns to the pool after delivery and after a queue
+// drop, and the next NewPacket reuses it zeroed.
+func TestPoolRecyclesDeliveredPackets(t *testing.T) {
+	n, h1, h2, mid := lineTopo(1_000_000)
+	s := &sink{}
+	h2.Host.Register(1, s)
+
+	p := h1.Host.NewPacket()
+	p.Dst = h2.ID
+	p.Flow = 1
+	p.Size = 1500
+	p.Kind = packet.KindRegular
+	h1.Host.Send(p)
+	n.Eng.Run()
+	if len(s.got) != 1 {
+		t.Fatalf("delivered %d packets", len(s.got))
+	}
+	if n.Pool.Len() != 1 {
+		t.Fatalf("pool holds %d packets after delivery, want 1", n.Pool.Len())
+	}
+	q := h1.Host.NewPacket()
+	if q != p {
+		t.Fatal("pool did not recycle the delivered packet")
+	}
+	if q.Dst != 0 || q.Size != 0 || q.UID != 0 {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+
+	// Queue drop path: a full DropTail releases the packet after OnDrop.
+	mid.Q = aqm.NewDropTail(100)
+	dropped := 0
+	n.OnDrop = func(dp *packet.Packet, l *Link) {
+		if dp != q {
+			t.Error("OnDrop saw a different packet")
+		}
+		if dp.Size != 1500 {
+			t.Error("OnDrop observed an already-reset packet")
+		}
+		dropped++
+	}
+	q.Dst = h2.ID
+	q.Flow = 1
+	q.Size = 1500
+	q.Kind = packet.KindRegular
+	h1.Host.Send(q)
+	n.Eng.Run()
+	if dropped != 1 {
+		t.Fatalf("drops = %d, want 1", dropped)
+	}
+	if n.Pool.Len() != 1 {
+		t.Fatalf("pool holds %d packets after drop, want 1", n.Pool.Len())
+	}
+}

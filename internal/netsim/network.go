@@ -20,11 +20,21 @@ type Network struct {
 	Nodes []*Node
 	Links []*Link
 
+	// Pool recycles packets: transports draw from it (Host.NewPacket)
+	// and the network returns packets at end of life — final delivery
+	// (after the host stack has run) or drop (after the OnDrop observer
+	// has run). A consumer that swallows a packet from a Node.Ingress
+	// hook owns it: drop means Release, cache-and-reinject means Forward
+	// later.
+	Pool packet.Pool
+
 	// routes[from][dst] is the egress link index at node from toward
 	// node dst, or -1 when unreachable.
 	routes [][]int32
 
 	// OnDrop, when set, observes every packet lost at a link queue.
+	// The packet returns to the pool right after the hook returns; do
+	// not retain it.
 	OnDrop func(p *packet.Packet, l *Link)
 
 	uid  uint64
@@ -62,6 +72,10 @@ func (n *Network) Node(id packet.NodeID) *Node { return n.Nodes[id] }
 // Connect creates a duplex connection between a and b as two independent
 // unidirectional links with unbounded FIFO queues (replace Q for
 // congestible links). It returns the a-to-b and b-to-a links.
+//
+// Connect fails fast on malformed links: nil endpoints or a non-positive
+// rate panic with the offending link named, instead of surfacing later as
+// a cryptic divide-by-zero in serialization-delay math.
 func (n *Network) Connect(a, b *Node, rateBps int64, delay sim.Time) (ab, ba *Link) {
 	ab = n.addLink(a, b, rateBps, delay)
 	ba = n.addLink(b, a, rateBps, delay)
@@ -69,6 +83,12 @@ func (n *Network) Connect(a, b *Node, rateBps int64, delay sim.Time) (ab, ba *Li
 }
 
 func (n *Network) addLink(from, to *Node, rateBps int64, delay sim.Time) *Link {
+	if from == nil || to == nil {
+		panic(fmt.Sprintf("netsim: link %v -> %v: nil node", from, to))
+	}
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s -> %s: non-positive rate %d bps", from, to, rateBps))
+	}
 	l := &Link{
 		Index: len(n.Links),
 		ID:    packet.LinkID(len(n.Links) + 1), // 0 is the null link
@@ -176,25 +196,36 @@ func (n *Network) PathASes(src, dst packet.NodeID) []packet.ASID {
 	return ases
 }
 
-// Forward routes p from node toward its destination, dropping it silently
-// when no route exists.
+// Forward routes p from node toward its destination, dropping it (and
+// returning it to the pool) when no route exists.
 func (n *Network) Forward(at *Node, p *packet.Packet) {
 	l := n.Route(at, p.Dst)
 	if l == nil {
+		n.Release(p)
 		return
 	}
 	l.Send(p)
 }
 
-// arrive processes p's arrival at node via l.
+// Release returns a packet to the pool at end of life. Hand-constructed
+// packets (not drawn from the pool) pass through untouched.
+func (n *Network) Release(p *packet.Packet) { n.Pool.Put(p) }
+
+// AllocPacket draws a zeroed packet from the pool.
+func (n *Network) AllocPacket() *packet.Packet { return n.Pool.Get() }
+
+// arrive processes p's arrival at node via l. A packet that reaches its
+// destination is recycled once the host stack (shim, agents, observers)
+// has finished with it; agents must not retain the pointer past Receive.
 func (n *Network) arrive(p *packet.Packet, node *Node, l *Link) {
 	if node.Ingress != nil && !node.Ingress(p, l) {
-		return
+		return // the ingress hook consumed the packet and now owns it
 	}
 	if p.Dst == node.ID {
 		if node.Host != nil {
 			node.Host.Receive(p)
 		}
+		n.Release(p)
 		return
 	}
 	n.Forward(node, p)

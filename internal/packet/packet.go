@@ -198,9 +198,11 @@ type MultiHeader struct {
 	Token   [4]byte
 }
 
-// Packet is a simulated packet. Packets are heap-allocated once at the
-// sender and mutated in place as they traverse the network, mirroring how
-// a real router rewrites the shim header.
+// Packet is a simulated packet, mutated in place as it traverses the
+// network, mirroring how a real router rewrites the shim header. Hot
+// paths draw packets from a Pool (netsim.Host.NewPacket) and the network
+// recycles them at end of life; hand-constructed &Packet{} values work
+// everywhere too and are simply never recycled.
 type Packet struct {
 	// UID is a simulation-unique identifier, handy for tracing.
 	UID uint64
@@ -243,6 +245,10 @@ type Packet struct {
 	EnqueuedAt sim.Time
 	// SentAt records when the transport first emitted the packet.
 	SentAt sim.Time
+
+	// pooled marks packets drawn from a Pool (only those are recycled);
+	// inPool guards against double release. See pool.go.
+	pooled, inPool bool
 }
 
 // IsSYN reports whether the packet is a TCP SYN (and not a SYN-ACK).

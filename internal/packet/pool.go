@@ -1,0 +1,73 @@
+package packet
+
+// Pool recycles Packets so steady-state forwarding allocates nothing. It
+// is deliberately not synchronized: each simulation engine is
+// single-threaded and owns one pool (parallel sweep cells each get their
+// own network, engine and pool).
+//
+// Ownership discipline: a packet has exactly one owner at a time — the
+// transport that drew it from the pool, then the queue/limiter holding
+// it, then the network delivering it. The network returns it to the pool
+// at end of life (final delivery or drop), after every observer hook has
+// run. Packets constructed directly with &Packet{} (tests, hand-crafted
+// probes) are not pool-managed: Put ignores them, so legacy call sites
+// that inspect a packet after the run keep working.
+type Pool struct {
+	free []*Packet
+
+	// Gets counts Get calls, News the subset that allocated a fresh
+	// Packet, Puts successful recycles — Gets-News hits quantify reuse.
+	Gets, News, Puts uint64
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pl *Pool) Get() *Packet {
+	pl.Gets++
+	n := len(pl.free)
+	if n == 0 {
+		pl.News++
+		return &Packet{pooled: true}
+	}
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	p.inPool = false
+	return p
+}
+
+// Put resets p and returns it to the pool. Packets that did not come from
+// a pool are ignored; returning the same packet twice without an
+// intervening Get panics — that is a double-free, and silently accepting
+// it would hand two owners the same packet.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if p.inPool {
+		panic("packet: double release to pool")
+	}
+	p.Reset()
+	p.inPool = true
+	pl.Puts++
+	pl.free = append(pl.free, p)
+}
+
+// Len returns the number of idle packets held by the pool.
+func (pl *Pool) Len() int { return len(pl.free) }
+
+// Reset zeroes every field of p, making it indistinguishable from a
+// freshly allocated packet. The one deliberate exception is retained
+// capacity: the Passport trailer's backing array survives (truncated to
+// length zero and rewritten field-for-field on the next stamp), so
+// Passport-enabled runs do not allocate a trailer per packet. Nothing in
+// the tree copies a PassportStamp out of a packet, so the retained array
+// cannot alias live state. The multi-bottleneck headers are fully zeroed:
+// shims copy those by value, and a shared backing array would let a
+// recycled packet corrupt a peer's cached feedback.
+func (p *Packet) Reset() {
+	pooled, inPool := p.pooled, p.inPool
+	entries := p.Passport.Entries[:0]
+	*p = Packet{}
+	p.Passport.Entries = entries
+	p.pooled, p.inPool = pooled, inPool
+}

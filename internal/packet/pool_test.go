@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// dirtyPacket fills every exported field of p with non-zero values via
+// reflection, so the hygiene check below cannot silently miss a field
+// added later.
+func dirtyPacket(p *Packet, rng *rand.Rand) {
+	v := reflect.ValueOf(p).Elem()
+	var fill func(v reflect.Value)
+	fill = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				if !v.Field(i).CanSet() {
+					continue // unexported pool bookkeeping
+				}
+				fill(v.Field(i))
+			}
+		case reflect.Slice:
+			n := 1 + int(rng.Int64N(4))
+			s := reflect.MakeSlice(v.Type(), n, n)
+			for i := 0; i < n; i++ {
+				fill(s.Index(i))
+			}
+			v.Set(s)
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				fill(v.Index(i))
+			}
+		case reflect.Bool:
+			v.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(1 + rng.Int64N(1<<30))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			v.SetUint(1 + rng.Uint64N(1<<30))
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(1 + rng.Float64())
+		default:
+			panic("dirtyPacket: unhandled kind " + v.Kind().String())
+		}
+	}
+	fill(v)
+}
+
+// likeFresh reports whether p is indistinguishable from &Packet{} for
+// every exported field, walking the struct by reflection. Slices compare
+// by length (a recycled packet may retain capacity, which is invisible to
+// all packet consumers); everything else must be deeply zero.
+func likeFresh(t *testing.T, path string, v reflect.Value) bool {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		ok := true
+		tp := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if tp.Field(i).PkgPath != "" {
+				continue // unexported pool bookkeeping
+			}
+			if !likeFresh(t, path+"."+tp.Field(i).Name, v.Field(i)) {
+				ok = false
+			}
+		}
+		return ok
+	case reflect.Slice:
+		if v.Len() != 0 {
+			t.Errorf("%s: recycled packet has %d element(s), fresh has none", path, v.Len())
+			return false
+		}
+		return true
+	default:
+		if !v.IsZero() {
+			t.Errorf("%s: recycled packet holds %v, fresh is zero", path, v)
+			return false
+		}
+		return true
+	}
+}
+
+// TestPoolHygieneProperty is the pool-hygiene property test: whatever
+// state a packet accumulated in flight, recycling it through the pool
+// must hand back a packet indistinguishable from a freshly allocated one.
+func TestPoolHygieneProperty(t *testing.T) {
+	var pool Pool
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		p := pool.Get()
+		dirtyPacket(p, rng)
+		pool.Put(p)
+		q := pool.Get()
+		if q != p {
+			t.Fatal("pool did not recycle the released packet")
+		}
+		ok := likeFresh(t, "Packet", reflect.ValueOf(q).Elem())
+		pool.Put(q)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDoubleReleasePanics pins the double-free guard.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	var pool Pool
+	p := pool.Get()
+	pool.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	pool.Put(p)
+}
+
+// TestPoolIgnoresForeignPackets: hand-constructed packets (tests, probes)
+// are not pool-managed and must survive a Put untouched.
+func TestPoolIgnoresForeignPackets(t *testing.T) {
+	var pool Pool
+	p := &Packet{UID: 42, Size: 1500}
+	pool.Put(p)
+	if p.UID != 42 || p.Size != 1500 {
+		t.Fatal("Put reset a non-pool packet")
+	}
+	if pool.Len() != 0 {
+		t.Fatal("non-pool packet entered the free list")
+	}
+}
+
+// TestPoolRetainsPassportCapacity documents the one deliberate Reset
+// exception: the Passport trailer's backing array survives recycling so
+// stamping does not allocate per packet.
+func TestPoolRetainsPassportCapacity(t *testing.T) {
+	var pool Pool
+	p := pool.Get()
+	p.Passport.Entries = append(p.Passport.Entries, PassportMAC{AS: 1}, PassportMAC{AS: 2})
+	pool.Put(p)
+	q := pool.Get()
+	if len(q.Passport.Entries) != 0 {
+		t.Fatalf("recycled trailer has length %d", len(q.Passport.Entries))
+	}
+	if cap(q.Passport.Entries) < 2 {
+		t.Fatalf("recycled trailer lost its capacity: %d", cap(q.Passport.Entries))
+	}
+}

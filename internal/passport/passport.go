@@ -75,15 +75,17 @@ func macInput(buf *[20]byte, p *packet.Packet, transitAS packet.ASID) []byte {
 // (excluding the source AS itself). It is called by the border router of
 // the source AS.
 func (r *Registry) Stamp(p *packet.Packet, path []packet.ASID) {
-	entries := make([]packet.PassportMAC, len(path))
+	// Rebuild in place on top of the packet's retained trailer capacity
+	// (packet.Pool keeps the backing array across recycles), writing
+	// every field so no stale entry survives.
+	entries := p.Passport.Entries[:0]
 	var buf [20]byte
-	for i, as := range path {
-		entries[i].AS = as
-		key := r.Key(p.SrcAS, as)
-		if key == nil {
-			continue
+	for _, as := range path {
+		e := packet.PassportMAC{AS: as}
+		if key := r.Key(p.SrcAS, as); key != nil {
+			e.MAC = key.Sum32(macInput(&buf, p, as))
 		}
-		entries[i].MAC = key.Sum32(macInput(&buf, p, as))
+		entries = append(entries, e)
 	}
 	p.Passport = packet.PassportStamp{Present: true, Entries: entries}
 }

@@ -40,7 +40,10 @@ type LeakyLimiter struct {
 	q          queue.Ring
 	bytes      int
 	lastDepart sim.Time
-	unleashEv  *sim.Event
+	// unleashEv is the owned departure timer, re-armed in place for every
+	// cached packet; armed tracks whether it is live.
+	unleashEv sim.Event
+	armed     bool
 
 	// Interval accounting for the AIMD controller (Figure 17).
 	intervalBytes int64
@@ -110,19 +113,26 @@ func (l *LeakyLimiter) delayFor(size int) sim.Time {
 	return sim.TxTime(l.bytes+size, l.rate)
 }
 
+// OnEvent implements sim.Handler: the departure timer fired.
+func (l *LeakyLimiter) OnEvent(sim.Time, any) {
+	l.armed = false
+	l.unleash()
+}
+
 // scheduleUnleash (re)arms the departure timer for the head packet,
 // Figure 16's schedule_next_unleash.
 func (l *LeakyLimiter) scheduleUnleash() {
-	if l.unleashEv != nil {
+	if l.armed {
 		l.unleashEv.Cancel()
+		l.armed = false
 	}
 	head := l.q.Peek()
 	if head == nil {
-		l.unleashEv = nil
 		return
 	}
 	at := l.lastDepart + sim.TxTime(int(head.Size), l.rate)
-	l.unleashEv = l.eng.At(at, l.unleash)
+	l.eng.ScheduleEvent(&l.unleashEv, at, l, nil)
+	l.armed = true
 }
 
 // unleash emits the head packet (Figure 16's unleash_packet).
@@ -138,8 +148,6 @@ func (l *LeakyLimiter) unleash() {
 	l.intervalBytes += int64(p.Size)
 	if l.q.Len() > 0 {
 		l.scheduleUnleash()
-	} else {
-		l.unleashEv = nil
 	}
 	l.forward(p)
 }
@@ -182,8 +190,8 @@ func (l *LeakyLimiter) LastActive() sim.Time { return l.lastActive }
 // callers remove limiters only after an idle period (§4.3.1's Ta), when
 // the cache is empty.
 func (l *LeakyLimiter) Stop() {
-	if l.unleashEv != nil {
+	if l.armed {
 		l.unleashEv.Cancel()
-		l.unleashEv = nil
+		l.armed = false
 	}
 }

@@ -2,54 +2,150 @@ package sim
 
 import (
 	"math/rand/v2"
+	"sync/atomic"
 )
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created through Engine.At and Engine.After. An Event may be cancelled
-// before it fires, in which case it is skipped when popped from the heap.
+// Handler is the allocation-free event callback: hot paths implement
+// OnEvent on a long-lived object (a link, a transport, a limiter) instead
+// of capturing state in a fresh closure per event. The arg slot carries
+// per-event context (typically a *packet.Packet); passing a pointer
+// through an interface value does not allocate.
+type Handler interface {
+	OnEvent(now Time, arg any)
+}
+
+// Event locations while queued.
+const (
+	locNone int32 = -1 // not queued
+	locHeap int32 = -2 // in the far-future overflow heap
+	locDue  int32 = -3 // extracted into the engine's due batch
+	// loc >= 0 encodes a wheel position as level<<8 | slot.
+)
+
+// Event is a scheduled callback. Events come in three flavors:
+//
+//   - closure events, created by Engine.At / Engine.After: heap-allocated
+//     per call, safe to hold and Cancel at any time;
+//   - owned events, embedded by value in a long-lived struct and armed
+//     with Engine.ScheduleEvent: reusable with zero allocation, but must
+//     not be re-armed while still queued;
+//   - pooled events, created by Engine.Schedule: drawn from the engine's
+//     free list and recycled after firing; no handle is returned, so they
+//     cannot be cancelled externally.
+//
+// The zero value is an idle owned event ready for ScheduleEvent.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
+	at  Time
+	seq uint64
+	fn  func()
+	h   Handler
+	arg any
+	eng *Engine
+
+	// next/prev link the event into a timer-wheel slot (doubly linked so
+	// Cancel detaches in O(1)); next doubles as the free-list link while
+	// a pooled event is idle.
+	next, prev *Event
+	loc        int32
+	index      int32 // position in the overflow heap or the due batch
+
+	queued    bool
 	cancelled bool
-	index     int // heap index, -1 when not queued
+	pooled    bool
 }
 
-// Cancel prevents the event from firing. Cancelling an already-executed or
-// already-cancelled event is a no-op.
+// Cancel prevents the event from firing, detaching it from the scheduler
+// immediately (a cancelled event no longer counts as pending). Cancelling
+// an already-executed, already-cancelled or nil event is a no-op.
 func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.cancelled = true
-		ev.fn = nil
+	if ev == nil {
+		return
 	}
+	if ev.queued {
+		ev.eng.remove(ev)
+	}
+	ev.cancelled = true
+	ev.fn = nil
+	ev.h = nil
+	ev.arg = nil
 }
 
-// Cancelled reports whether the event was cancelled before execution.
+// Cancelled reports whether the event was cancelled since it was last
+// scheduled.
 func (ev *Event) Cancelled() bool { return ev.cancelled }
 
-// Time returns the instant the event is scheduled for.
+// Time returns the instant the event is (or was last) scheduled for.
 func (ev *Event) Time() Time { return ev.at }
+
+// totalExecuted aggregates executed-event counts across every engine in
+// the process; engines flush their local counters at Run/RunUntil
+// boundaries so the per-event hot path stays free of atomics.
+var totalExecuted atomic.Uint64
+
+// TotalExecuted returns the number of events executed process-wide, for
+// events-per-second benchmark accounting across parallel engines.
+func TotalExecuted() uint64 { return totalExecuted.Load() }
 
 // Engine is a discrete-event scheduler. It is not safe for concurrent use:
 // simulations are single-threaded and deterministic by design.
+//
+// Near-future events live in a hierarchical timer wheel (O(1) schedule and
+// cancel, no allocation); events beyond the wheel horizon overflow into a
+// binary heap and migrate inward as the clock advances. Execution order is
+// strictly (time, scheduling sequence), bit-for-bit identical to a pure
+// heap scheduler.
 type Engine struct {
 	now  Time
-	heap eventHeap
 	seq  uint64
+	live int // queued, non-cancelled events
+
+	wheel wheel
+	heap  eventHeap
+
+	// due is the current batch of events sharing the earliest pending
+	// timestamp, sorted by sequence; Cancel punches nil holes into it.
+	// dueAt is that shared timestamp — valid while the batch is
+	// non-empty, and authoritative even when the head entry is a hole.
+	due    []*Event
+	duePos int
+	dueAt  Time
+
+	// free is the pooled-event free list, linked through Event.next.
+	free *Event
+
+	// forceHeap routes every event through the overflow heap, bypassing
+	// the wheel: the reference configuration equivalence tests compare
+	// against.
+	forceHeap bool
+
 	// Rand is the simulation-wide random source, seeded at construction so
 	// that runs are reproducible.
 	Rand *rand.Rand
-	// executed counts events that have run, for diagnostics.
+	// executed counts events that have run, for diagnostics; flushed
+	// tracks how much of it has been added to totalExecuted.
 	executed uint64
+	flushed  uint64
 }
 
 // New returns an engine whose clock starts at zero and whose random source
 // is seeded with the given seed.
 func New(seed uint64) *Engine {
-	return &Engine{
-		heap: make(eventHeap, 0, 1024),
+	e := &Engine{
+		heap: make(eventHeap, 0, 64),
 		Rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 	}
+	e.wheel.init()
+	return e
+}
+
+// NewHeapReference returns an engine that schedules exclusively through
+// the binary heap — the straightforward reference implementation the
+// timer wheel must match event for event. Tests use it to pin the wheel's
+// ordering; simulations should use New.
+func NewHeapReference(seed uint64) *Engine {
+	e := New(seed)
+	e.forceHeap = true
+	return e
 }
 
 // Now returns the current simulated time.
@@ -58,19 +154,16 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not been popped yet).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events currently scheduled. Cancelled
+// events are detached immediately and never counted, so drain loops and
+// diagnostics can trust the value.
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn to run at the absolute time t. Scheduling in the past is
 // clamped to the current time, preserving execution-order determinism.
 func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
-	e.heap.push(ev)
+	ev := &Event{fn: fn, loc: locNone, index: -1}
+	e.scheduleEv(ev, t)
 	return ev
 }
 
@@ -82,55 +175,281 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Step executes the next pending event. It returns false when the queue is
-// empty. Cancelled events are discarded without being counted as steps.
-func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.heap.pop()
-		if ev.cancelled {
-			continue
+// Schedule arms a one-shot pooled event: h.OnEvent(now, arg) runs at time
+// t (clamped to now). The event slot comes from the engine's free list and
+// returns to it after firing, so steady-state scheduling allocates
+// nothing. No handle is returned; use At or ScheduleEvent for cancellable
+// events.
+func (e *Engine) Schedule(t Time, h Handler, arg any) {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{loc: locNone, index: -1}
+	}
+	ev.pooled = true
+	ev.h = h
+	ev.arg = arg
+	e.scheduleEv(ev, t)
+}
+
+// ScheduleEvent arms a caller-owned event slot: h.OnEvent(now, arg) runs
+// at time t (clamped to now). The caller keeps ev alive (typically
+// embedded by value in the object that owns the timer) and may re-arm it
+// after it fires or is cancelled; re-arming a still-queued event panics.
+func (e *Engine) ScheduleEvent(ev *Event, t Time, h Handler, arg any) {
+	if ev.queued {
+		panic("sim: ScheduleEvent on an event that is still queued")
+	}
+	ev.pooled = false
+	ev.fn = nil
+	ev.h = h
+	ev.arg = arg
+	e.scheduleEv(ev, t)
+}
+
+// scheduleEv assigns time and sequence and inserts the event.
+func (e *Engine) scheduleEv(ev *Event, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+	ev.eng = e
+	ev.queued = true
+	ev.cancelled = false
+	e.live++
+	// An event earlier than the already-extracted due batch preempts it:
+	// spill the batch back into the scheduler so ordering stays global.
+	// Compare against the batch timestamp, not the head entry — the head
+	// may be a cancellation hole.
+	if e.duePos < len(e.due) && t < e.dueAt {
+		e.spillDue()
+	}
+	e.insert(ev)
+}
+
+// insert places a scheduled event into the wheel, or the overflow heap
+// when it lies behind the wheel cursor or beyond its horizon.
+func (e *Engine) insert(ev *Event) {
+	if e.forceHeap || !e.wheel.insert(ev, e.now) {
+		ev.loc = locHeap
+		e.heap.push(ev)
+	}
+}
+
+// spillDue returns unexecuted due-batch events to the scheduler, keeping
+// their original (time, sequence) keys.
+func (e *Engine) spillDue() {
+	for i := e.duePos; i < len(e.due); i++ {
+		if ev := e.due[i]; ev != nil {
+			e.insert(ev)
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.executed++
-		fn()
+	}
+	e.due = e.due[:0]
+	e.duePos = 0
+}
+
+// remove detaches a queued event (Cancel's backend).
+func (e *Engine) remove(ev *Event) {
+	switch {
+	case ev.loc >= 0:
+		e.wheel.remove(ev)
+	case ev.loc == locHeap:
+		e.heap.removeAt(int(ev.index))
+	case ev.loc == locDue:
+		e.due[ev.index] = nil
+	}
+	ev.loc = locNone
+	ev.queued = false
+	e.live--
+	if ev.pooled {
+		ev.pooled = false
+		ev.fn, ev.h, ev.arg = nil, nil, nil
+		ev.next = e.free
+		e.free = ev
+	}
+}
+
+// ensureDue guarantees the due batch holds the next event to execute,
+// pulling the earliest-timestamp batch from the wheel and/or the overflow
+// heap. It returns false when nothing is pending.
+func (e *Engine) ensureDue() bool {
+	// Drain the current batch first, skipping cancellation holes.
+	for e.duePos < len(e.due) {
+		if e.due[e.duePos] != nil {
+			return true
+		}
+		e.duePos++
+	}
+	e.due = e.due[:0]
+	e.duePos = 0
+
+	if e.forceHeap {
+		if len(e.heap) == 0 {
+			return false
+		}
+		e.batchFromHeap()
 		return true
 	}
-	return false
+
+	// Heap events behind the wheel cursor (scheduled after a speculative
+	// cursor advance) are globally earliest: the wheel holds nothing
+	// before its own cursor. Checking before peek avoids needless
+	// cascades.
+	if len(e.heap) > 0 && e.heap[0].at < e.wheel.time {
+		e.batchFromHeap()
+		return true
+	}
+
+	wt, wok := e.wheel.peek()
+	if !wok {
+		// Empty wheel: the heap alone orders everything, including
+		// events beyond the wheel horizon that could never migrate in.
+		if len(e.heap) == 0 {
+			return false
+		}
+		e.batchFromHeap()
+		return true
+	}
+	// peek advanced the cursor to wt, so heap events below wt (there are
+	// no wheel events below wt) are globally earliest.
+	if len(e.heap) > 0 && e.heap[0].at < wt {
+		e.batchFromHeap()
+		return true
+	}
+	// Heap events at exactly wt merge into the wheel's slot so the
+	// sequence sort below interleaves the batch correctly. at == wt ==
+	// wheel.time is always within the horizon, so insertion cannot fail.
+	for len(e.heap) > 0 && e.heap[0].at == wt {
+		ev := e.heap.pop()
+		if !e.wheel.insert(ev, e.now) {
+			panic("sim: wheel rejected an in-horizon migration")
+		}
+	}
+
+	e.wheel.drainSlot(wt, &e.due)
+	sortBySeq(e.due)
+	for i, ev := range e.due {
+		ev.loc = locDue
+		ev.index = int32(i)
+	}
+	e.dueAt = wt
+	return true
+}
+
+// batchFromHeap pops every heap event sharing the minimum timestamp into
+// the due batch (heap pops already come out in (time, seq) order).
+func (e *Engine) batchFromHeap() {
+	at := e.heap[0].at
+	for len(e.heap) > 0 && e.heap[0].at == at {
+		ev := e.heap.pop()
+		ev.loc = locDue
+		ev.index = int32(len(e.due))
+		e.due = append(e.due, ev)
+	}
+	e.dueAt = at
+}
+
+// sortBySeq orders a same-timestamp batch by scheduling sequence.
+// Insertion sort: batches are small and usually already sorted (slot
+// lists append in sequence order; only cross-level cascades disorder
+// them).
+func sortBySeq(evs []*Event) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && evs[j].seq > ev.seq {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
+}
+
+// fire executes one extracted event.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	ev.queued = false
+	ev.loc = locNone
+	e.live--
+	e.executed++
+	fn, h, arg := ev.fn, ev.h, ev.arg
+	if ev.pooled {
+		// Recycle before running the callback: the callback may well
+		// schedule its successor into this very slot. Pooled slots are
+		// scrubbed so the free list retains nothing.
+		ev.fn, ev.h, ev.arg = nil, nil, nil
+		ev.pooled = false
+		ev.next = e.free
+		e.free = ev
+	} else if fn != nil {
+		// Closure events may outlive their firing through the caller's
+		// handle; drop the closure so captured state can be collected.
+		ev.fn = nil
+	}
+	if fn != nil {
+		fn()
+	} else {
+		h.OnEvent(e.now, arg)
+	}
+}
+
+// Step executes the next pending event. It returns false when nothing is
+// scheduled.
+func (e *Engine) Step() bool {
+	if !e.ensureDue() {
+		return false
+	}
+	ev := e.due[e.duePos]
+	e.duePos++
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until the queue drains.
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	e.flushExecuted()
 }
 
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to exactly t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 {
-		ev := e.heap.peek()
-		if ev.cancelled {
-			e.heap.pop()
-			continue
-		}
+	for e.ensureDue() {
+		ev := e.due[e.duePos]
 		if ev.at > t {
 			break
 		}
-		e.Step()
+		e.duePos++
+		e.fire(ev)
 	}
 	if e.now < t {
 		e.now = t
 	}
+	e.flushExecuted()
+}
+
+// flushExecuted publishes locally-counted executions to the process-wide
+// total.
+func (e *Engine) flushExecuted() {
+	if d := e.executed - e.flushed; d > 0 {
+		totalExecuted.Add(d)
+		e.flushed = e.executed
+	}
 }
 
 // Ticker invokes a callback periodically. Create one with Engine.Tick.
+// The ticker owns a single reusable event slot, so ticking allocates
+// nothing after construction.
 type Ticker struct {
 	eng      *Engine
 	interval Time
 	fn       func()
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 
@@ -146,15 +465,18 @@ func (e *Engine) Tick(interval Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) schedule() {
-	t.ev = t.eng.After(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.eng.ScheduleEvent(&t.ev, t.eng.now+t.interval, t, nil)
+}
+
+// OnEvent implements Handler; it runs one tick and re-arms.
+func (t *Ticker) OnEvent(Time, any) {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.schedule()
+	}
 }
 
 // Stop cancels future ticks. It is safe to call from within the callback.

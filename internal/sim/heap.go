@@ -1,8 +1,10 @@
 package sim
 
-// eventHeap is a binary min-heap ordered by (time, sequence). A hand-rolled
-// heap avoids the interface indirection of container/heap on the hottest
-// path of the simulator.
+// eventHeap is a binary min-heap ordered by (time, sequence). It serves
+// as the timer wheel's far-future overflow level (and as the whole
+// scheduler in the heap-reference engine). A hand-rolled heap avoids the
+// interface indirection of container/heap, and the tracked indices give
+// O(log n) removal when a queued event is cancelled.
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
@@ -15,14 +17,14 @@ func (h eventHeap) less(i, j int) bool {
 
 func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 
 func (h *eventHeap) push(ev *Event) {
 	*h = append(*h, ev)
-	ev.index = len(*h) - 1
-	h.up(ev.index)
+	ev.index = int32(len(*h) - 1)
+	h.up(int(ev.index))
 }
 
 func (h *eventHeap) pop() *Event {
@@ -39,7 +41,23 @@ func (h *eventHeap) pop() *Event {
 	return top
 }
 
-func (h eventHeap) peek() *Event { return h[0] }
+// removeAt deletes the event at heap position i.
+func (h *eventHeap) removeAt(i int) {
+	old := *h
+	n := len(old)
+	if i == n-1 {
+		old[n-1].index = -1
+		old[n-1] = nil
+		*h = old[:n-1]
+		return
+	}
+	old.swap(i, n-1)
+	old[n-1].index = -1
+	old[n-1] = nil
+	*h = old[:n-1]
+	h.down(i)
+	h.up(i)
+}
 
 func (h eventHeap) up(i int) {
 	for i > 0 {

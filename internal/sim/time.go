@@ -1,8 +1,12 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine keeps a virtual clock with nanosecond resolution and a binary
-// heap of scheduled events. Events scheduled for the same instant execute in
-// scheduling order, which makes every run reproducible for a fixed seed.
+// The engine keeps a virtual clock with nanosecond resolution and a
+// hierarchical timer wheel of scheduled events (with a binary heap as the
+// far-future overflow level). Events scheduled for the same instant
+// execute in scheduling order — bit-for-bit the ordering of a pure
+// (time, sequence) heap — which makes every run reproducible for a fixed
+// seed. Hot paths schedule through typed Handler callbacks on reusable
+// or pooled Event slots, so steady-state scheduling allocates nothing.
 package sim
 
 import "fmt"

@@ -77,9 +77,12 @@ type TCPSender struct {
 	state     int
 	started   sim.Time
 
-	// SYN handshake.
+	// SYN handshake. synEv is the owned timer storage; synTimer points at
+	// it once armed (nil = never armed), preserving the tri-state the
+	// retransmission logic keys off.
 	synRetries int
 	synRTO     sim.Time
+	synEv      sim.Event
 	synTimer   *sim.Event
 
 	// Reliability and congestion control. Sequence numbers are byte
@@ -95,11 +98,22 @@ type TCPSender struct {
 	rttSeq            int64
 	rttStart          sim.Time
 	rttValid, hasSRTT bool
+	rtoEv             sim.Event
 	rtoTimer          *sim.Event
 	transferTimer     *sim.Event
 	retransmits       uint64
 	timeouts          uint64
 }
+
+// tcpSYNTimer and tcpRTOTimer adapt the sender's owned timer events to
+// sim.Handler without per-arm closures.
+type tcpSYNTimer TCPSender
+
+func (h *tcpSYNTimer) OnEvent(sim.Time, any) { (*TCPSender)(h).onSYNTimeout() }
+
+type tcpRTOTimer TCPSender
+
+func (h *tcpRTOTimer) OnEvent(sim.Time, any) { (*TCPSender)(h).onRTO() }
 
 // NewTCPSender creates a sender on host for a transfer of fileBytes to
 // dst under the given flow (negative fileBytes streams forever). Call
@@ -144,16 +158,16 @@ func (s *TCPSender) Timeouts() uint64 { return s.timeouts }
 func (s *TCPSender) Established() bool { return s.state == tcpEstablished }
 
 func (s *TCPSender) sendSYN() {
-	p := &packet.Packet{
-		Dst:   s.Dst,
-		Flow:  s.Flow,
-		Kind:  packet.KindRegular,
-		Proto: packet.ProtoTCP,
-		Size:  packet.SizeRequest,
-		TCP:   packet.TCPInfo{Flags: packet.FlagSYN},
-	}
+	p := s.host.NewPacket()
+	p.Dst = s.Dst
+	p.Flow = s.Flow
+	p.Kind = packet.KindRegular
+	p.Proto = packet.ProtoTCP
+	p.Size = packet.SizeRequest
+	p.TCP = packet.TCPInfo{Flags: packet.FlagSYN}
 	s.host.Send(p)
-	s.synTimer = s.eng.After(s.synRTO, s.onSYNTimeout)
+	s.eng.ScheduleEvent(&s.synEv, s.eng.Now()+s.synRTO, (*tcpSYNTimer)(s), nil)
+	s.synTimer = &s.synEv
 }
 
 func (s *TCPSender) onSYNTimeout() {
@@ -317,15 +331,14 @@ func (s *TCPSender) retransmit(seq int64) {
 }
 
 func (s *TCPSender) emit(seq int64, n int32) {
-	p := &packet.Packet{
-		Dst:     s.Dst,
-		Flow:    s.Flow,
-		Kind:    packet.KindRegular,
-		Proto:   packet.ProtoTCP,
-		Size:    n + packet.SizeRequest,
-		Payload: n,
-		TCP:     packet.TCPInfo{Flags: packet.FlagACK, Seq: seq},
-	}
+	p := s.host.NewPacket()
+	p.Dst = s.Dst
+	p.Flow = s.Flow
+	p.Kind = packet.KindRegular
+	p.Proto = packet.ProtoTCP
+	p.Size = n + packet.SizeRequest
+	p.Payload = n
+	p.TCP = packet.TCPInfo{Flags: packet.FlagACK, Seq: seq}
 	s.host.Send(p)
 }
 
@@ -335,13 +348,18 @@ func (s *TCPSender) armRTO() {
 		s.rtoTimer = nil
 	}
 	if s.sndNxt > s.sndUna {
-		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+		s.eng.ScheduleEvent(&s.rtoEv, s.eng.Now()+s.rto, (*tcpRTOTimer)(s), nil)
+		s.rtoTimer = &s.rtoEv
 	}
 }
 
 func (s *TCPSender) armRTOIfIdle() {
+	// nil = never armed; Cancelled = disarmed. A timer that fired
+	// naturally is neither and must not be re-armed here (onRTO re-arms
+	// itself), exactly as with the old per-arm events.
 	if s.rtoTimer == nil || s.rtoTimer.Cancelled() {
-		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+		s.eng.ScheduleEvent(&s.rtoEv, s.eng.Now()+s.rto, (*tcpRTOTimer)(s), nil)
+		s.rtoTimer = &s.rtoEv
 	}
 }
 
@@ -469,14 +487,13 @@ func (r *TCPReceiver) advance(n int32) {
 }
 
 func (r *TCPReceiver) reply(flags uint8, ack int64) {
-	p := &packet.Packet{
-		Dst:   r.Peer,
-		Flow:  r.Flow,
-		Kind:  packet.KindRegular,
-		Proto: packet.ProtoTCP,
-		Size:  packet.SizeACK,
-		TCP:   packet.TCPInfo{Flags: flags, Ack: ack},
-	}
+	p := r.host.NewPacket()
+	p.Dst = r.Peer
+	p.Flow = r.Flow
+	p.Kind = packet.KindRegular
+	p.Proto = packet.ProtoTCP
+	p.Size = packet.SizeACK
+	p.TCP = packet.TCPInfo{Flags: flags, Ack: ack}
 	r.host.Send(p)
 }
 

@@ -27,9 +27,20 @@ type UDPSource struct {
 	eng     *sim.Engine
 	running bool
 	on      bool
-	ev      *sim.Event
-	sent    uint64
+	// ev is the owned inter-packet pacing event, reused for the whole
+	// lifetime of the source (on-phase and trickle pacing alike).
+	ev   sim.Event
+	sent uint64
 }
+
+// udpPace and udpTrickle dispatch the source's owned pacing event.
+type udpPace UDPSource
+
+func (h *udpPace) OnEvent(sim.Time, any) { (*UDPSource)(h).sendNext() }
+
+type udpTrickle UDPSource
+
+func (h *udpTrickle) OnEvent(sim.Time, any) { (*UDPSource)(h).sendTrickle() }
 
 // NewUDPSource creates a constant-rate source; call Start to begin.
 func NewUDPSource(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rateBps int64, pktSize int32) *UDPSource {
@@ -43,6 +54,7 @@ func NewUDPSource(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rate
 func (u *UDPSource) Start() {
 	u.running = true
 	u.on = true
+	u.ev.Cancel() // restart-safe: disarm any pacing left from a prior run
 	if u.OnTime > 0 && u.OffTime > 0 {
 		u.schedulePhaseFlip(u.OnTime)
 	}
@@ -52,9 +64,7 @@ func (u *UDPSource) Start() {
 // Stop halts the source.
 func (u *UDPSource) Stop() {
 	u.running = false
-	if u.ev != nil {
-		u.ev.Cancel()
-	}
+	u.ev.Cancel()
 }
 
 // SentPackets returns the number of packets emitted.
@@ -68,12 +78,11 @@ func (u *UDPSource) schedulePhaseFlip(after sim.Time) {
 		u.on = !u.on
 		if u.on {
 			u.schedulePhaseFlip(u.OnTime)
+			u.ev.Cancel() // a pending trickle event would collide with the burst pacing
 			u.sendNext()
 		} else {
 			u.schedulePhaseFlip(u.OffTime)
-			if u.ev != nil {
-				u.ev.Cancel()
-			}
+			u.ev.Cancel()
 			if u.OffRateBps > 0 {
 				u.sendTrickle()
 			}
@@ -87,7 +96,7 @@ func (u *UDPSource) sendTrickle() {
 		return
 	}
 	u.emit()
-	u.ev = u.eng.After(sim.TxTime(int(u.PktSize), u.OffRateBps), u.sendTrickle)
+	u.eng.ScheduleEvent(&u.ev, u.eng.Now()+sim.TxTime(int(u.PktSize), u.OffRateBps), (*udpTrickle)(u), nil)
 }
 
 func (u *UDPSource) sendNext() {
@@ -95,19 +104,18 @@ func (u *UDPSource) sendNext() {
 		return
 	}
 	u.emit()
-	u.ev = u.eng.After(sim.TxTime(int(u.PktSize), u.RateBps), u.sendNext)
+	u.eng.ScheduleEvent(&u.ev, u.eng.Now()+sim.TxTime(int(u.PktSize), u.RateBps), (*udpPace)(u), nil)
 }
 
 func (u *UDPSource) emit() {
-	p := &packet.Packet{
-		Dst:   u.Dst,
-		Flow:  u.Flow,
-		Kind:  packet.KindRegular,
-		Proto: packet.ProtoUDP,
-		Size:  u.PktSize,
-		// UDP payload: everything beyond the stacked headers.
-		Payload: u.PktSize - packet.SizeIPUDP - packet.SizeNetFenceMx - packet.SizePassport,
-	}
+	p := u.host.NewPacket()
+	p.Dst = u.Dst
+	p.Flow = u.Flow
+	p.Kind = packet.KindRegular
+	p.Proto = packet.ProtoUDP
+	p.Size = u.PktSize
+	// UDP payload: everything beyond the stacked headers.
+	p.Payload = u.PktSize - packet.SizeIPUDP - packet.SizeNetFenceMx - packet.SizePassport
 	u.host.Send(p)
 	u.sent++
 }
@@ -151,8 +159,14 @@ type RequestFlooder struct {
 	host    *netsim.Host
 	eng     *sim.Engine
 	running bool
+	ev      sim.Event
 	sent    uint64
 }
+
+// flooderPace dispatches the flooder's owned pacing event.
+type flooderPace RequestFlooder
+
+func (h *flooderPace) OnEvent(sim.Time, any) { (*RequestFlooder)(h).sendNext() }
 
 // NewRequestFlooder creates a flooder; call Start to begin.
 func NewRequestFlooder(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rateBps int64, level uint8) *RequestFlooder {
@@ -163,11 +177,15 @@ func NewRequestFlooder(host *netsim.Host, dst packet.NodeID, flow packet.FlowID,
 // Start begins the flood.
 func (f *RequestFlooder) Start() {
 	f.running = true
+	f.ev.Cancel() // restart-safe: disarm pacing left from a prior run
 	f.sendNext()
 }
 
 // Stop halts the flood.
-func (f *RequestFlooder) Stop() { f.running = false }
+func (f *RequestFlooder) Stop() {
+	f.running = false
+	f.ev.Cancel()
+}
 
 // SentPackets returns packets emitted.
 func (f *RequestFlooder) SentPackets() uint64 { return f.sent }
@@ -176,16 +194,15 @@ func (f *RequestFlooder) sendNext() {
 	if !f.running {
 		return
 	}
-	p := &packet.Packet{
-		Dst:   f.Dst,
-		Flow:  f.Flow,
-		Kind:  packet.KindRequest,
-		Prio:  f.Level,
-		Proto: packet.ProtoTCP,
-		Size:  packet.SizeRequest,
-		TCP:   packet.TCPInfo{Flags: packet.FlagSYN},
-	}
+	p := f.host.NewPacket()
+	p.Dst = f.Dst
+	p.Flow = f.Flow
+	p.Kind = packet.KindRequest
+	p.Prio = f.Level
+	p.Proto = packet.ProtoTCP
+	p.Size = packet.SizeRequest
+	p.TCP = packet.TCPInfo{Flags: packet.FlagSYN}
 	f.host.Send(p)
 	f.sent++
-	f.eng.After(sim.TxTime(packet.SizeRequest, f.RateBps), f.sendNext)
+	f.eng.ScheduleEvent(&f.ev, f.eng.Now()+sim.TxTime(packet.SizeRequest, f.RateBps), (*flooderPace)(f), nil)
 }
