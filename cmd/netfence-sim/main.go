@@ -39,17 +39,29 @@
 // paper (the full 1000-sender, 4000-simulated-second configuration —
 // expect a long run).
 //
+// -shards N partitions scenario topologies into N per-AS shards, one
+// engine per shard, synchronized in lookahead windows with results
+// byte-identical to the single engine for the deterministic workload
+// set (-1 = one shard per CPU):
+//
+//	netfence-sim -sweep -shards 4 -senders 128
+//	netfence-sim -bench-json -bench-scale large -shards 8
+//
 // -bench-json emits a machine-readable benchmark baseline (wall time,
 // events/s and allocs/event per experiment family) for perf-trajectory
-// tracking; the checked-in BENCH_PR4.json was generated this way.
+// tracking; the checked-in BENCH_PR5.json was generated this way.
 // -bench-baseline FILE additionally compares the fresh run against a
 // checked-in baseline and exits non-zero when any suite's wall time
-// regressed more than 25% (the CI bench smoke gate). -bench-scale large
-// swaps the tiny figure suite for a single large-scale cell: the seeded
-// random AS-level topology with >=10k senders, demonstrating the
-// headroom the zero-allocation hot path buys.
+// regressed more than 25% (the CI bench smoke gate; with -shards it
+// also times a sharded collusion smoke cell). -bench-scale large swaps
+// the tiny figure suite for a single large-scale cell — the seeded
+// random AS-level topology with >=10k senders — and -bench-scale huge
+// raises that to 65,536 senders; with -shards N both run the
+// single-engine twin first and report the sharded speedup.
 //
-// -cpuprofile and -memprofile write pprof profiles covering the run.
+// -cpuprofile and -memprofile write pprof profiles covering the run;
+// shard worker goroutines carry pprof labels (shard=<as-range>) so
+// profiles attribute hot paths to partitions.
 package main
 
 import (
@@ -79,6 +91,8 @@ func main() {
 		listTopo = flag.Bool("list-topologies", false, "list registered topologies")
 		listAtk  = flag.Bool("list-attacks", false, "list registered attack strategies")
 		defenses = flag.String("defense", "", "comma-separated defense systems (default: the paper's lineup)")
+
+		shards = flag.Int("shards", 1, "partition scenario topologies into this many per-AS shards, one engine per shard (1 = classic single engine; -1 = one shard per CPU). Applies to -sweep and the -bench-scale large/huge cells; the -exp figures drive the low-level API and stay single-engine")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
 		topoName   = flag.String("topo", "", "sweep: registered topology name (default: the paper's 9-colluder dumbbell)")
@@ -157,7 +171,7 @@ func main() {
 		return
 	}
 	if *benchJSON {
-		if !runBenchJSON(*benchScale, *benchBase) {
+		if !runBenchJSON(*benchScale, *benchBase, *shards) {
 			flushProfiles()
 			os.Exit(1)
 		}
@@ -174,7 +188,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel)
+		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel, *shards)
 		return
 	}
 
@@ -216,7 +230,7 @@ func main() {
 // topology. Without -attack the attacker side is the classic static
 // colluder flood; with it, the attackers are driven by each listed
 // adaptive strategy in turn (the Sweep.Attacks axis).
-func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism int) {
+func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism, shards int) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -294,6 +308,7 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 				Topology:  spec,
 				Workloads: wl,
 				Duration:  netfence.Time(durationSec) * netfence.Second,
+				Shards:    shards, // -1 is netfence.AutoShards
 			}
 		},
 		Defenses:        defenseList,
@@ -463,13 +478,19 @@ func timeSuite(name, scale string, fn func()) benchRow {
 }
 
 // runBenchJSON times the benchmark suite and emits a JSON baseline, so
-// successive PRs can track the perf trajectory (BENCH_PR4.json is the
+// successive PRs can track the perf trajectory (BENCH_PR5.json is the
 // current checked-in point). With a baseline file it also enforces the
 // <=25% wall-time regression gate, returning false on violation. A suite
 // over budget is retried up to twice and judged on its best time, so a
 // transient co-tenant spike on a shared runner does not fail the build —
 // a genuine regression reproduces on every attempt.
-func runBenchJSON(scale, baselinePath string) bool {
+//
+// shards > 1 adds sharded cells: a small partitioned collusion scenario
+// at the tiny scale (the CI sharded smoke), and a sharded run of the
+// large/huge cell next to its single-engine twin with the
+// events-per-second speedup reported on stderr — the headline number of
+// the parallel executor.
+func runBenchJSON(scale, baselinePath string, shards int) bool {
 	baseline := map[string]float64{}
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)
@@ -517,14 +538,37 @@ func runBenchJSON(scale, baselinePath string) bool {
 			}
 			rep.Rows = append(rep.Rows, measure(name, sc.Name, func() { r.Run(sc) }))
 		}
-	case "large":
+		if shards > 1 || shards == -1 {
+			n := displayShards(shards)
+			rep.Rows = append(rep.Rows, measure(fmt.Sprintf("collusion-shards%d", n), "tiny",
+				func() { runShardedSmoke(shards, n) }))
+		}
+	case "large", "huge":
 		// The headroom demonstration: one cell on the seeded random
-		// AS-level topology with >=10k senders — a population two to
-		// three orders of magnitude beyond the tiny figure suite, only
-		// tractable with the pooled, allocation-free hot path.
-		rep.Rows = append(rep.Rows, measure("random-as-large", "large", runLargeCell))
+		// AS-level topology with >=10k senders (large) or >=65k senders
+		// (huge) — populations two to three orders of magnitude beyond
+		// the tiny figure suite, tractable with the pooled hot path and,
+		// sharded, with one engine per partition. With -shards the
+		// single-engine twin runs first so the report carries both rows
+		// and the events-per-second speedup is printed.
+		cell := runLargeCell
+		if scale == "huge" {
+			cell = runHugeCell
+		}
+		single := measure("random-as-"+scale, scale, func() { cell(1) })
+		rep.Rows = append(rep.Rows, single)
+		if shards > 1 || shards == -1 {
+			n := displayShards(shards)
+			sharded := measure(fmt.Sprintf("random-as-%s-shards%d", scale, n), scale,
+				func() { cell(shards) })
+			rep.Rows = append(rep.Rows, sharded)
+			if sharded.WallSeconds > 0 && single.WallSeconds > 0 {
+				fmt.Fprintf(os.Stderr, "sharded speedup (%s, %d shards): %.2fx wall, %.2fx events/sec\n",
+					scale, n, single.WallSeconds/sharded.WallSeconds, sharded.EventsPer/single.EventsPer)
+			}
+		}
 	default:
-		fatal(fmt.Errorf("unknown -bench-scale %q (tiny|large)", scale))
+		fatal(fmt.Errorf("unknown -bench-scale %q (tiny|large|huge)", scale))
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -550,10 +594,50 @@ func runBenchJSON(scale, baselinePath string) bool {
 	return ok
 }
 
+// displayShards resolves the -shards value for bench row names and
+// speedup reports: -1 (auto) displays as the CPU count. Scenarios get
+// the raw flag value instead — -1 is netfence.AutoShards, which clamps
+// to the topology's AS count rather than failing fast — so the display
+// can overstate the realized count only on machines with more CPUs
+// than the topology has ASes.
+func displayShards(shards int) int {
+	if shards == -1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
+}
+
+// runShardedSmoke is the CI sharded bench cell: the collusion mix on a
+// mid-size dumbbell, partitioned — small enough for the bench smoke
+// step, big enough that the mailbox handoff and window barriers carry
+// real traffic.
+func runShardedSmoke(shards, label int) {
+	const pop = 128
+	users := pop / 4
+	res, err := netfence.Scenario{
+		Name:     fmt.Sprintf("collusion-shards%d", label),
+		Seed:     1,
+		Topology: netfence.DumbbellSpec{Senders: pop, BottleneckBps: pop * 100_000, ColluderASes: 9},
+		Defense:  netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: netfence.Range(0, users)},
+			netfence.ColluderPairs{Senders: netfence.Range(users, pop), RateBps: 1_000_000},
+		},
+		Duration: 20 * netfence.Second,
+		Warmup:   10 * netfence.Second,
+		Shards:   shards,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, res.String())
+}
+
 // runLargeCell runs the large bench scenario: 10,240 senders (25%
 // long-running TCP users, 75% flooding attackers) over the random-as
-// transit core, NetFence fully deployed.
-func runLargeCell() {
+// transit core, NetFence fully deployed, partitioned into the given
+// number of per-AS shards (1 = the classic single engine).
+func runLargeCell(shards int) {
 	const pop = 10_240
 	users := pop / 4
 	res, err := netfence.Scenario{
@@ -576,6 +660,43 @@ func runLargeCell() {
 		},
 		Duration: 20 * netfence.Second,
 		Warmup:   10 * netfence.Second,
+		Shards:   shards,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, res.String())
+}
+
+// runHugeCell is the huge bench scenario: 65,536 senders over a larger
+// random AS-level core — the regime the paper's §6 argues about
+// (hundreds of thousands of senders per bottleneck), reachable in one
+// process by partitioning the topology across engines. The routing
+// tables stay small thanks to stub compression; the per-AS shard count
+// (64 source ASes, 8 transit ASes) leaves the partitioner room up to
+// dozens of shards.
+func runHugeCell(shards int) {
+	const pop = 65_536
+	users := pop / 4
+	res, err := netfence.Scenario{
+		Name: "random-as-huge",
+		Seed: 1,
+		Topology: netfence.RandomASSpec{
+			Senders:       pop,
+			BottleneckBps: pop * 100_000,
+			SrcASes:       64,
+			TransitASes:   8,
+			ExtraLinks:    4,
+			ColluderASes:  9,
+		},
+		Defense: netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: netfence.Range(0, users)},
+			netfence.AttackSpec{Senders: netfence.Range(users, pop), RateBps: 200_000, ToColluders: true},
+		},
+		Duration: 10 * netfence.Second,
+		Warmup:   5 * netfence.Second,
+		Shards:   shards,
 	}.Run()
 	if err != nil {
 		fatal(err)

@@ -85,6 +85,11 @@ func (s *System) ProtectAccess(r *netsim.Node) {
 		pathASCache: make(map[packet.NodeID][]packet.ASID),
 		destLinks:   make(map[packet.NodeID][]packet.LinkID),
 	}
+	// In sharded runs the rotated key bytes come from a per-router
+	// stream identical on every shard replica, so stamping and
+	// validation agree across shards; nil (single-engine) keeps the
+	// historical draw-from-engine behavior byte for byte.
+	ar.ring.Material = r.Network().Eng.KeyStream(uint64(r.ID))
 	r.Network().Eng.Tick(s.Cfg.KeyRotate, func() {
 		ar.ring.Rotate(r.Network().Eng.Rand)
 	})

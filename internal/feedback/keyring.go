@@ -13,6 +13,18 @@ import (
 type KeyRing struct {
 	current *cmac.CMAC
 	prev    *cmac.CMAC
+
+	// Material, when set, is a dedicated stream the actual key bytes are
+	// drawn from; Rotate still burns the same number of draws from its
+	// rng argument. Sharded runs use this split: every shard replica of
+	// one logical router rotates on its own engine's stream (keeping
+	// those streams position-aligned with the single-engine run for the
+	// value-sensitive consumers sharing them, like RED), while the key
+	// bytes come from a per-router stream identical on every replica —
+	// so a bottleneck shard validates exactly what a source shard
+	// stamped. Key bytes never influence behavior beyond MAC equality,
+	// so results are unaffected by which stream supplies them.
+	Material *rand.Rand
 }
 
 // NewKeyRing creates a key ring with a random initial key drawn from rng.
@@ -43,10 +55,16 @@ func randomKey(rng *rand.Rand) cmac.Key {
 
 // Rotate replaces the current key with a fresh one, keeping the old key
 // for validation. The caller drives rotation on a timer whose period must
-// exceed the feedback expiration time w.
+// exceed the feedback expiration time w. With Material set, rng is
+// drawn from (and discarded) to keep its stream position aligned while
+// the key bytes come from the Material stream.
 func (r *KeyRing) Rotate(rng *rand.Rand) {
+	key := randomKey(rng)
+	if r.Material != nil {
+		key = randomKey(r.Material)
+	}
 	r.prev = r.current
-	r.current = cmac.New(randomKey(rng))
+	r.current = cmac.New(key)
 }
 
 // Current returns the stamping key.

@@ -26,6 +26,14 @@ func (f *FCT) Add(d sim.Time, ok bool) {
 	}
 }
 
+// Merge folds another aggregate into f (sharded runs collect one FCT
+// per shard and merge in shard order). Mean and percentiles are
+// order-independent: the mean sums integers and Percentile sorts.
+func (f *FCT) Merge(other *FCT) {
+	f.samples = append(f.samples, other.samples...)
+	f.failed += other.failed
+}
+
 // Count returns the number of successful transfers.
 func (f *FCT) Count() int { return len(f.samples) }
 

@@ -30,6 +30,12 @@ type Link struct {
 	// feedback in the mon state (§4.3.2).
 	OnTransmit func(p *packet.Packet, l *Link)
 
+	// mailbox, when set, marks this link as a cut link of a partitioned
+	// run whose To node lives on another shard: completed transmissions
+	// hand the packet off instead of scheduling a local arrival. Nil in
+	// single-engine runs — the hot path pays one predictable branch.
+	mailbox *Mailbox
+
 	busy       bool
 	txEv       sim.Event
 	retryEv    sim.Event
@@ -110,15 +116,28 @@ func (l *Link) tryTransmit() {
 	l.net.Eng.ScheduleEvent(&l.txEv, now+tx, (*linkTx)(l), p)
 }
 
-// txDone completes p's serialization: launch its propagation event and
+// txDone completes p's serialization: launch its propagation event (or
+// hand the packet off to the destination shard over a cut link) and
 // start on the next queued packet.
 func (l *Link) txDone(p *packet.Packet) {
 	l.busy = false
 	l.TxPackets++
 	l.TxBytes += uint64(p.Size)
-	l.net.Eng.Schedule(l.net.Eng.Now()+l.Delay, (*linkArrive)(l), p)
+	now := l.net.Eng.Now()
+	if l.mailbox != nil {
+		// The handoff key is exactly what a local propagation event's
+		// scheduling key would have been, so the destination engine
+		// executes the arrival where a single global engine would have.
+		l.mailbox.push(p, l.net.Eng.HandoffKey(now+l.Delay))
+	} else {
+		l.net.Eng.Schedule(now+l.Delay, (*linkArrive)(l), p)
+	}
 	l.tryTransmit()
 }
+
+// SetMailbox marks the link as a cut link delivering into mb's
+// destination replica. Partitioned-run wiring only.
+func (l *Link) SetMailbox(mb *Mailbox) { l.mailbox = mb }
 
 // scheduleRetry arms (or re-arms) the not-yet-eligible retry timer.
 func (l *Link) scheduleRetry(at sim.Time) {

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+)
+
+// Mailbox carries packets across one cut link of a partitioned
+// simulation: the shard owning the link's From side produces handoffs
+// during its window, the shard owning the To side drains them at the
+// next window start. Single producer, single consumer, and the two
+// phases are separated by the coordinator's barrier, so plain slices
+// need no further synchronization; the barrier provides the
+// happens-before edge.
+//
+// Ownership transfer: a handed-off packet leaves the source shard's
+// pool domain with the push and enters the destination's — the
+// destination network releases it into its own pool at end of life.
+// Packet structs therefore migrate between per-shard pools over time,
+// which is fine: pools are free lists, not arenas.
+type Mailbox struct {
+	// destLink is the destination replica's copy of the cut link; its
+	// linkArrive handler delivers drained packets to the To node with
+	// full ingress/forwarding semantics.
+	destLink *Link
+	pending  []handoff
+}
+
+// handoff is one in-flight cross-shard packet with the pedigree key that
+// positions its arrival among the destination engine's events.
+type handoff struct {
+	p   *packet.Packet
+	key sim.EventKey
+}
+
+// NewMailbox creates the mailbox for a cut link. dest must be the
+// destination shard replica's copy of the link (same Index as the
+// source's).
+func NewMailbox(dest *Link) *Mailbox { return &Mailbox{destLink: dest} }
+
+// push records one handoff. Called by the source shard inside the
+// transmit-complete event.
+func (m *Mailbox) push(p *packet.Packet, key sim.EventKey) {
+	m.pending = append(m.pending, handoff{p: p, key: key})
+}
+
+// Drain injects every pending arrival into the destination engine and
+// reports whether any landed at or before deadline. Called by the
+// destination shard at window start, after the barrier.
+func (m *Mailbox) Drain(deadline sim.Time) bool {
+	if len(m.pending) == 0 {
+		return false
+	}
+	eng := m.destLink.net.Eng
+	h := (*linkArrive)(m.destLink)
+	hit := false
+	for i := range m.pending {
+		hd := &m.pending[i]
+		eng.Inject(hd.key, h, hd.p)
+		if hd.key.At <= deadline {
+			hit = true
+		}
+		hd.p = nil
+	}
+	m.pending = m.pending[:0]
+	return hit
+}

@@ -28,9 +28,18 @@ type Network struct {
 	// later.
 	Pool packet.Pool
 
-	// routes[from][dst] is the egress link index at node from toward
-	// node dst, or -1 when unreachable.
-	routes [][]int32
+	// Routing state, leaf-compressed: full next-hop tables are kept only
+	// for "core" nodes (anything but single-link stub hosts), indexed by
+	// a dense core numbering, while stubs route through their one uplink.
+	// A 65k-sender topology has a few hundred core nodes, so the table is
+	// kilobytes instead of the 17 GB an all-pairs node table would cost —
+	// with next-hop choices bit-for-bit identical to the historical
+	// full-graph BFS (see ComputeRoutes).
+	coreIdx  []int32   // node -> dense core index, or -1 for stubs
+	attachAt []int32   // stub node -> core index of its attachment point
+	uplink   []int32   // stub node -> its single egress link index
+	downlink []int32   // node -> link index from its attachment core node to it, or -1
+	rtab     [][]int32 // [core][core] egress link index, or -1 when unreachable
 
 	// OnDrop, when set, observes every packet lost at a link queue.
 	// The packet returns to the pool right after the hook returns; do
@@ -113,40 +122,93 @@ func (n *Network) LinkByID(id packet.LinkID) *Link {
 	return n.Links[i]
 }
 
-// ComputeRoutes builds shortest-path (hop count) next-hop tables via one
-// reverse BFS per destination. Call it after the topology is final.
+// ComputeRoutes builds shortest-path (hop count) next-hop tables. Call
+// it after the topology is final.
+//
+// The historical implementation ran one reverse BFS per destination over
+// the full graph into an O(V²) table. This one compresses stubs first: a
+// node with exactly one egress link whose neighbor is not itself a stub
+// can only route through that uplink, and can never be transit for
+// anyone else (its only inbound link mirrors the uplink), so the
+// all-pairs BFS needs to cover only the core subgraph. The next-hop
+// choices are bit-for-bit those of the full-graph BFS: a stub's
+// discovery in the original walk always happened while processing its
+// attachment node (its uplink appears in that node's inbound list), it
+// contributed no further discoveries (its own inbound list holds only
+// the already-seen attachment node), and a BFS rooted at a stub
+// destination degenerates after one step into the BFS rooted at its
+// attachment node plus the explicit downlink entry — exactly what Route
+// reconstructs.
 func (n *Network) ComputeRoutes() {
 	num := len(n.Nodes)
-	n.routes = make([][]int32, num)
-	for i := range n.routes {
-		n.routes[i] = make([]int32, num)
-		for j := range n.routes[i] {
-			n.routes[i][j] = -1
+	n.coreIdx = make([]int32, num)
+	n.attachAt = make([]int32, num)
+	n.uplink = make([]int32, num)
+	n.downlink = make([]int32, num)
+	var core []*Node
+	for _, nd := range n.Nodes {
+		n.uplink[nd.ID] = -1
+		n.downlink[nd.ID] = -1
+		n.attachAt[nd.ID] = -1
+		if len(nd.out) == 1 && len(nd.out[0].To.out) > 1 {
+			n.coreIdx[nd.ID] = -1 // stub
+			continue
+		}
+		n.coreIdx[nd.ID] = int32(len(core))
+		core = append(core, nd)
+	}
+	for _, nd := range n.Nodes {
+		if n.coreIdx[nd.ID] >= 0 {
+			n.attachAt[nd.ID] = n.coreIdx[nd.ID]
+			continue
+		}
+		up := nd.out[0]
+		n.uplink[nd.ID] = int32(up.Index)
+		n.attachAt[nd.ID] = n.coreIdx[up.To.ID]
+	}
+	// Downlinks: the final hop from an attachment node to its stub.
+	for _, l := range n.Links {
+		if n.coreIdx[l.To.ID] < 0 && n.coreIdx[l.From.ID] >= 0 {
+			if n.downlink[l.To.ID] < 0 {
+				n.downlink[l.To.ID] = int32(l.Index)
+			}
 		}
 	}
-	// in[v] lists links arriving at v; BFS from each destination walks
-	// them backwards, recording the forward link as the next hop.
-	in := make([][]*Link, num)
-	for _, l := range n.Links {
-		in[l.To.ID] = append(in[l.To.ID], l)
+
+	// Reverse BFS per core destination over the core subgraph, walking
+	// inbound links in link-declaration order — the original tie-break.
+	R := len(core)
+	n.rtab = make([][]int32, R)
+	flat := make([]int32, R*R)
+	for i := range flat {
+		flat[i] = -1
 	}
-	qbuf := make([]packet.NodeID, 0, num)
-	seen := make([]bool, num)
-	for dst := 0; dst < num; dst++ {
+	for i := range n.rtab {
+		n.rtab[i] = flat[i*R : (i+1)*R]
+	}
+	in := make([][]*Link, R)
+	for _, l := range n.Links {
+		fi, ti := n.coreIdx[l.From.ID], n.coreIdx[l.To.ID]
+		if fi >= 0 && ti >= 0 {
+			in[ti] = append(in[ti], l)
+		}
+	}
+	qbuf := make([]int32, 0, R)
+	seen := make([]bool, R)
+	for dst := 0; dst < R; dst++ {
 		for i := range seen {
 			seen[i] = false
 		}
-		qbuf = qbuf[:0]
-		qbuf = append(qbuf, packet.NodeID(dst))
+		qbuf = append(qbuf[:0], int32(dst))
 		seen[dst] = true
 		for len(qbuf) > 0 {
 			v := qbuf[0]
 			qbuf = qbuf[1:]
 			for _, l := range in[v] {
-				u := l.From.ID
+				u := n.coreIdx[l.From.ID]
 				if !seen[u] {
 					seen[u] = true
-					n.routes[u][dst] = int32(l.Index)
+					n.rtab[u][dst] = int32(l.Index)
 					qbuf = append(qbuf, u)
 				}
 			}
@@ -154,9 +216,42 @@ func (n *Network) ComputeRoutes() {
 	}
 }
 
+// routeFromCore returns the egress link index at core node fi toward
+// dst, or -1.
+func (n *Network) routeFromCore(fi int32, dst packet.NodeID) int32 {
+	ti := n.coreIdx[dst]
+	if ti >= 0 {
+		return n.rtab[fi][ti]
+	}
+	// Stub destination: route to its attachment node, then the downlink.
+	at := n.attachAt[dst]
+	if at < 0 {
+		return -1
+	}
+	if at == fi {
+		return n.downlink[dst]
+	}
+	if n.rtab[fi][at] < 0 || n.downlink[dst] < 0 {
+		return -1
+	}
+	return n.rtab[fi][at]
+}
+
 // Route returns the egress link at node from toward dst, or nil.
 func (n *Network) Route(from *Node, dst packet.NodeID) *Link {
-	idx := n.routes[from.ID][dst]
+	if from.ID == dst {
+		return nil
+	}
+	fi := n.coreIdx[from.ID]
+	if fi < 0 {
+		// Stub source: everything reachable goes through the uplink.
+		up := n.Links[n.uplink[from.ID]]
+		if up.To.ID == dst || n.routeFromCore(n.coreIdx[up.To.ID], dst) >= 0 {
+			return up
+		}
+		return nil
+	}
+	idx := n.routeFromCore(fi, dst)
 	if idx < 0 {
 		return nil
 	}
@@ -242,6 +337,11 @@ func (n *Network) NextFlow() packet.FlowID {
 	n.flow++
 	return packet.FlowID(n.flow)
 }
+
+// SetFlowBase positions the flow-ID counter. Partitioned runs give each
+// shard replica a disjoint range after attachment so flows opened at
+// runtime (file and web transfers) never collide across shards.
+func (n *Network) SetFlowBase(base uint32) { n.flow = base }
 
 // NowSec returns the engine clock in whole seconds, the timestamp unit of
 // the NetFence header.

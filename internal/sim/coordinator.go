@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+)
+
+// Coordinator drives N shard engines through conservative parallel
+// discrete-event simulation: bounded time windows of one lookahead (the
+// minimum cut-link propagation delay), a barrier between windows, and a
+// drain hook per shard that re-schedules cross-shard handoffs onto the
+// destination engine before its window starts.
+//
+// Safety argument: an event executing in window [W, W+L) can influence
+// another shard only through a cut link whose delay is >= L, so its
+// earliest cross-shard effect lands at or after W+L — the next window.
+// Draining every mailbox at each window boundary therefore delivers
+// every arrival before any event that could observe it, and the
+// pedigree keys carried by the handoffs (see EventKey) order them
+// exactly as a single global engine would have.
+//
+// Each shard runs on its own persistent worker goroutine, labeled
+// shard=<name> for pprof, so CPU profiles attribute hot paths to
+// partitions. Determinism does not depend on goroutine scheduling: all
+// cross-shard state crosses only at barriers.
+type Coordinator struct {
+	engines   []*Engine
+	lookahead Time
+	names     []string
+	// drain delivers pending inbound handoffs to shard i, returning
+	// whether anything landing at or before deadline was injected.
+	drain func(shard int, deadline Time) bool
+
+	now     Time
+	windows uint64
+
+	jobs    []chan func(int)
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+// NewCoordinator creates a coordinator over the given shard engines.
+// The lookahead must be positive — a zero-delay cut link admits no
+// conservative window.
+func NewCoordinator(engines []*Engine, lookahead Time, names []string) *Coordinator {
+	if lookahead <= 0 {
+		panic("sim: coordinator lookahead must be positive")
+	}
+	if len(names) != len(engines) {
+		names = make([]string, len(engines))
+		for i := range names {
+			names[i] = fmt.Sprintf("%d", i)
+		}
+	}
+	return &Coordinator{engines: engines, lookahead: lookahead, names: names}
+}
+
+// SetDrain installs the mailbox drain hook, invoked on each shard's own
+// goroutine at every window start.
+func (c *Coordinator) SetDrain(fn func(shard int, deadline Time) bool) {
+	c.drain = fn
+}
+
+// Engines returns the coordinated shard engines in shard order.
+func (c *Coordinator) Engines() []*Engine { return c.engines }
+
+// Lookahead returns the synchronization window length.
+func (c *Coordinator) Lookahead() Time { return c.lookahead }
+
+// Windows returns the number of synchronization rounds executed so far.
+func (c *Coordinator) Windows() uint64 { return c.windows }
+
+// Now returns the frontier every shard has simulated up to.
+func (c *Coordinator) Now() Time { return c.now }
+
+// start spawns the labeled worker goroutines on first use.
+func (c *Coordinator) start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.jobs = make([]chan func(int), len(c.engines))
+	for i := range c.engines {
+		c.jobs[i] = make(chan func(int))
+		ch, shard := c.jobs[i], i
+		labels := pprof.Labels("shard", c.names[i])
+		go pprof.Do(context.Background(), labels, func(context.Context) {
+			for job := range ch {
+				job(shard)
+				c.wg.Done()
+			}
+		})
+	}
+}
+
+// round runs fn(shard) on every shard's worker concurrently and waits
+// for all of them — one barrier.
+func (c *Coordinator) round(fn func(int)) {
+	c.wg.Add(len(c.engines))
+	for i := range c.jobs {
+		c.jobs[i] <- fn
+	}
+	c.wg.Wait()
+}
+
+// doDrain invokes the drain hook for one shard, if installed.
+func (c *Coordinator) doDrain(shard int, deadline Time) bool {
+	if c.drain == nil {
+		return false
+	}
+	return c.drain(shard, deadline)
+}
+
+// RunUntil advances every shard to exactly t: lookahead-sized windows
+// with a drain+barrier between each, then the final instant. Callable
+// repeatedly with increasing t.
+func (c *Coordinator) RunUntil(t Time) {
+	if c.stopped {
+		panic("sim: RunUntil on a stopped coordinator")
+	}
+	c.start()
+	for c.now < t {
+		end := c.now + c.lookahead
+		if end > t {
+			end = t
+		}
+		// Two barriers per window: every shard drains its inboxes while
+		// no producer runs, then every shard executes. A combined phase
+		// would let shard A start filling a mailbox the still-draining
+		// shard B is truncating.
+		//
+		// Every window — including the last — is exclusive of its end:
+		// events at exactly t must wait until the barrier below has
+		// delivered the cross-shard arrivals landing at t, or a local
+		// time-t event would execute ahead of an arrival whose pedigree
+		// sorts before it.
+		c.round(func(i int) { c.doDrain(i, end) })
+		c.round(func(i int) { c.engines[i].RunBefore(end) })
+		c.windows++
+		c.now = end
+	}
+	// The final instant: handoffs transmitted in the last window can
+	// land exactly at t; deliver them first, then execute the time-t
+	// batch, pedigree-interleaved like any other instant. Handoffs
+	// minted at t land beyond t (the lookahead is positive), so the
+	// confirmation rounds terminate immediately.
+	injected := make([]bool, len(c.engines))
+	for {
+		c.round(func(i int) { injected[i] = c.doDrain(i, t) })
+		c.round(func(i int) { c.engines[i].RunUntil(t) })
+		any := false
+		for _, in := range injected {
+			any = any || in
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// Stop terminates the worker goroutines. The coordinator cannot be used
+// afterwards.
+func (c *Coordinator) Stop() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.stopped = true
+	for i := range c.jobs {
+		close(c.jobs[i])
+	}
+}

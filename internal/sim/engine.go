@@ -14,6 +14,19 @@ type Handler interface {
 	OnEvent(now Time, arg any)
 }
 
+// PedigreeDepth is how many ancestor scheduling instants an event key
+// retains. Deeper pedigrees resolve longer same-instant cross-shard
+// scheduling chains exactly (the cost is one pedEntry copy per level
+// per scheduled event); see Event.ped.
+const PedigreeDepth = 8
+
+// pedEntry is one pedigree level: a scheduling instant and the tagged
+// sequence number assigned at it.
+type pedEntry struct {
+	t Time
+	s uint64
+}
+
 // Event locations while queued.
 const (
 	locNone int32 = -1 // not queued
@@ -41,6 +54,25 @@ type Event struct {
 	h   Handler
 	arg any
 	eng *Engine
+
+	// ped is the scheduling pedigree: ped[0] is this event's own
+	// (scheduling instant, tagged seq), and ped[k] its k-th ancestor's —
+	// the event whose callback scheduled the (k-1)-th. The pedigree
+	// propagates as a shift (a child's level-k entry is its parent's
+	// level k-1), so PedigreeDepth levels cost one small array copy at
+	// schedule time. For a single engine the full key (see keyLess)
+	// orders exactly like (at, seq) — each level is the parent batch's
+	// own execution order, inductively its seq order — so single-engine
+	// behavior is bit-for-bit the PR-4 order. Across sharded engines the
+	// pedigree makes keys comparable: a cross-shard handoff carries its
+	// source-side chain, positioning it among the destination's events
+	// exactly where a single global engine would have run it. Chains
+	// still tied after PedigreeDepth scheduling instants (e.g. two
+	// phase-locked back-to-back transmission chains both busy for more
+	// than PedigreeDepth packets) fall back to the shard-tagged seq,
+	// whose shard-major order matches the setup-order tie-break of fully
+	// symmetric chains.
+	ped [PedigreeDepth]pedEntry
 
 	// next/prev link the event into a timer-wheel slot (doubly linked so
 	// Cancel detaches in O(1)); next doubles as the free-list link while
@@ -98,6 +130,30 @@ type Engine struct {
 	now  Time
 	seq  uint64
 	live int // queued, non-cancelled events
+
+	// pedigreed marks a sharded engine: only then is the deep pedigree
+	// (ped[1:]) maintained. A standalone engine never compares events
+	// beyond (at, ped[0]) — its order is organically (time, seq) — so it
+	// skips the per-event ancestry copies and keeps the PR-4 hot path.
+	pedigreed bool
+
+	// seqTag namespaces this engine's sequence numbers when it runs as
+	// one shard of a partitioned simulation: the shard index occupies the
+	// top 16 bits of every assigned seq, so keys from different shards
+	// compare shard-major when their time pedigree ties (the single
+	// engine's tie order for symmetric event chains, whose roots are the
+	// shard-grouped setup sequence). Zero for standalone engines, making
+	// tagged seqs numerically identical to the untagged PR-4 values.
+	seqTag uint64
+
+	// curPed is the pedigree of the event whose callback is currently
+	// executing — the ancestry stamped onto events it schedules.
+	curPed [PedigreeDepth]pedEntry
+
+	// keyBase, when keyed, seeds KeyStream: per-consumer deterministic
+	// randomness for sharded runs (see KeyStream).
+	keyBase uint64
+	keyed   bool
 
 	wheel wheel
 	heap  eventHeap
@@ -216,7 +272,11 @@ func (e *Engine) scheduleEv(ev *Event, t Time) {
 	}
 	e.seq++
 	ev.at = t
-	ev.seq = e.seq
+	ev.seq = e.seqTag | e.seq
+	ev.ped[0] = pedEntry{t: e.now, s: ev.seq}
+	if e.pedigreed {
+		copy(ev.ped[1:], e.curPed[:PedigreeDepth-1])
+	}
 	ev.eng = e
 	ev.queued = true
 	ev.cancelled = false
@@ -353,15 +413,41 @@ func (e *Engine) batchFromHeap() {
 	e.dueAt = at
 }
 
-// sortBySeq orders a same-timestamp batch by scheduling sequence.
-// Insertion sort: batches are small and usually already sorted (slot
-// lists append in sequence order; only cross-level cascades disorder
-// them).
+// keyLess orders two same-engine-or-cross-engine events by the full
+// pedigree key. The comparison mirrors the scheduling recursion: after
+// (at, scheduling instants outward to the oldest retained ancestor),
+// ties resolve by the deepest ancestor's tagged seq inward — each level
+// is the corresponding ancestor batch's own execution order. For events
+// of one engine this is exactly (at, seq) order — every field is
+// nondecreasing in seq within the preceding ties — so the single-engine
+// execution order is bit-for-bit the PR-4 order; the longer key only
+// disambiguates events injected from other shards.
+func keyLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	for k := 0; k < PedigreeDepth; k++ {
+		if a.ped[k].t != b.ped[k].t {
+			return a.ped[k].t < b.ped[k].t
+		}
+	}
+	for k := PedigreeDepth - 1; k > 0; k-- {
+		if a.ped[k].s != b.ped[k].s {
+			return a.ped[k].s < b.ped[k].s
+		}
+	}
+	return a.ped[0].s < b.ped[0].s
+}
+
+// sortBySeq orders a same-timestamp batch by scheduling key. Insertion
+// sort: batches are small and usually already sorted (slot lists append
+// in sequence order; only cross-level cascades and cross-shard
+// injections disorder them).
 func sortBySeq(evs []*Event) {
 	for i := 1; i < len(evs); i++ {
 		ev := evs[i]
 		j := i - 1
-		for j >= 0 && evs[j].seq > ev.seq {
+		for j >= 0 && keyLess(ev, evs[j]) {
 			evs[j+1] = evs[j]
 			j--
 		}
@@ -372,6 +458,9 @@ func sortBySeq(evs []*Event) {
 // fire executes one extracted event.
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
+	if e.pedigreed {
+		e.curPed = ev.ped
+	}
 	ev.queued = false
 	ev.loc = locNone
 	e.live--
@@ -431,6 +520,111 @@ func (e *Engine) RunUntil(t Time) {
 		e.now = t
 	}
 	e.flushExecuted()
+}
+
+// RunBefore executes all events scheduled strictly before t, then
+// advances the clock to exactly t. It is the window step of a
+// partitioned run: events at t itself belong to the next window (a
+// cross-shard arrival landing exactly at a window boundary must be able
+// to preempt them).
+func (e *Engine) RunBefore(t Time) {
+	for e.ensureDue() {
+		ev := e.due[e.duePos]
+		if ev.at >= t {
+			break
+		}
+		e.duePos++
+		e.fire(ev)
+	}
+	if e.now < t {
+		e.now = t
+	}
+	e.flushExecuted()
+}
+
+// EventKey is the full pedigree scheduling key of one event — the
+// currency of cross-shard handoffs. A source engine mints it with
+// HandoffKey at the instant it would have scheduled the event locally;
+// the destination engine's Inject places the event into its own order
+// exactly where a single global engine would have run it.
+type EventKey struct {
+	At  Time
+	Ped [PedigreeDepth]pedEntry
+}
+
+// HandoffKey consumes one local sequence number and returns the key a
+// locally-scheduled event for time at would have carried — including the
+// pedigree of the currently-executing event. Call it from inside the
+// event callback performing the handoff.
+func (e *Engine) HandoffKey(at Time) EventKey {
+	e.seq++
+	k := EventKey{At: at}
+	k.Ped[0] = pedEntry{t: e.now, s: e.seqTag | e.seq}
+	copy(k.Ped[1:], e.curPed[:PedigreeDepth-1])
+	return k
+}
+
+// Inject schedules h.OnEvent(now, arg) under an explicit key minted by
+// another engine's HandoffKey. The event slot comes from the free list
+// (pooled, non-cancellable). Injecting into the past panics: it means
+// the caller violated the conservative-synchronization lookahead bound.
+func (e *Engine) Inject(k EventKey, h Handler, arg any) {
+	if k.At < e.now {
+		panic("sim: Inject behind the engine clock (lookahead violation)")
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{loc: locNone, index: -1}
+	}
+	ev.pooled = true
+	ev.h = h
+	ev.arg = arg
+	ev.at = k.At
+	ev.seq = k.Ped[0].s
+	ev.ped = k.Ped
+	ev.eng = e
+	ev.queued = true
+	ev.cancelled = false
+	e.live++
+	// An injected key may precede an already-extracted due batch even at
+	// the same timestamp (its pedigree is older); spill so ordering stays
+	// global.
+	if e.duePos < len(e.due) && k.At <= e.dueAt {
+		e.spillDue()
+	}
+	e.insert(ev)
+}
+
+// SetShardTag namespaces this engine's sequence numbers with a shard
+// index (top 16 bits), making keys from different shards of one
+// partitioned simulation comparable, and switches on deep-pedigree
+// maintenance. Call before any event is scheduled.
+func (e *Engine) SetShardTag(shard int) {
+	e.seqTag = uint64(shard) << 48
+	e.pedigreed = true
+}
+
+// EnableKeyStreams switches the engine into sharded key-material mode:
+// KeyStream returns per-consumer deterministic RNGs derived from base,
+// so every shard replica of one logical consumer (an access router's
+// keyring) draws identical values without sharing the engine stream.
+func (e *Engine) EnableKeyStreams(base uint64) {
+	e.keyed = true
+	e.keyBase = base
+}
+
+// KeyStream returns a deterministic random stream private to the given
+// consumer id, or nil when the engine is not in sharded key-material
+// mode (single-engine runs keep drawing from Engine.Rand, preserving
+// their byte-exact historical results).
+func (e *Engine) KeyStream(id uint64) *rand.Rand {
+	if !e.keyed {
+		return nil
+	}
+	return rand.New(rand.NewPCG(e.keyBase^0x9e3779b97f4a7c15, id))
 }
 
 // flushExecuted publishes locally-counted executions to the process-wide

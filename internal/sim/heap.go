@@ -8,11 +8,7 @@ package sim
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	return keyLess(h[i], h[j])
 }
 
 func (h eventHeap) swap(i, j int) {

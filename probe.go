@@ -239,7 +239,7 @@ type FCTProbe struct{}
 func (FCTProbe) install(*scenarioEnv) error { return nil }
 
 func (FCTProbe) finish(env *scenarioEnv, res *Result) {
-	f := env.fct
+	f := env.mergedFCT()
 	res.FCT = FCTSummary{
 		Count:      f.Count(),
 		Failed:     f.Failed(),
@@ -317,6 +317,9 @@ func (p TimeseriesProbe) install(env *scenarioEnv) error {
 	if interval <= 0 {
 		interval = 10 * Second
 	}
+	if env.sh != nil {
+		return p.installSharded(env, interval)
+	}
 	env.eng.Tick(interval, func() {
 		secs := interval.Seconds()
 		var user, atk float64
@@ -343,6 +346,68 @@ func (p TimeseriesProbe) install(env *scenarioEnv) error {
 	return nil
 }
 
+// installSharded ticks every shard at the same simulated instants: each
+// shard records its own meters' per-interval rates (and the NetFence
+// bottleneck's shard the monitoring flag), and finish sums them in
+// global meter order — the single-engine accumulation order, so the
+// samples come out bit-identical.
+func (p TimeseriesProbe) installSharded(env *scenarioEnv, interval Time) error {
+	secs := interval.Seconds()
+	monShard := -1
+	if env.nfBottleneck != nil && len(env.bottlenecks) > 0 {
+		monShard = env.sh.shardOf(env.bottlenecks[0].From.ID)
+	}
+	// Meter ownership is fixed at attach time; bucket once so each
+	// shard's tick touches only its own meters instead of scanning the
+	// whole population behind the window barrier.
+	buckets := make([][]*goodputMeter, len(env.sh.engines))
+	for _, m := range env.meters {
+		buckets[m.shard] = append(buckets[m.shard], m)
+	}
+	for i, eng := range env.sh.engines {
+		shard, e, mine := i, eng, buckets[i]
+		e.Tick(interval, func() {
+			for _, m := range mine {
+				cur := m.bytes()
+				m.rates = append(m.rates, float64(cur-m.tickMark)*8/secs)
+				m.tickMark = cur
+			}
+			if shard == 0 {
+				env.tickTimes = append(env.tickTimes, e.Now().Seconds())
+			}
+			if shard == monShard {
+				env.monFlags = append(env.monFlags, env.nfBottleneck.Monitoring())
+			}
+		})
+	}
+	return nil
+}
+
 func (TimeseriesProbe) finish(env *scenarioEnv, res *Result) {
-	res.Series = env.series
+	if env.sh == nil {
+		res.Series = env.series
+		return
+	}
+	// Built fresh each call (not appended onto env.series) so a repeat
+	// Instance.Run returns the same samples instead of duplicates.
+	series := make([]Sample, 0, len(env.tickTimes))
+	for k, tsec := range env.tickTimes {
+		s := Sample{TimeSec: tsec}
+		for _, m := range env.meters {
+			if k >= len(m.rates) {
+				continue
+			}
+			if m.attacker {
+				s.AttackerBps += m.rates[k]
+			} else {
+				s.UserBps += m.rates[k]
+			}
+		}
+		if k < len(env.monFlags) {
+			s.Monitoring = env.monFlags[k]
+		}
+		series = append(series, s)
+	}
+	env.series = series
+	res.Series = series
 }

@@ -63,6 +63,15 @@ type Scenario struct {
 	// (UDPFlood to the victim, RequestFlood). Colluder-bound floods are
 	// never denied — their receivers cooperate with the attacker.
 	DenyAttackers bool
+	// Shards partitions the topology into per-AS shards, each simulated
+	// by its own engine on its own goroutine with deterministic
+	// lookahead synchronization — results are byte-identical to the
+	// single-engine run for the deterministic workload set (see the
+	// README's parallel-execution contract). 0 and 1 run the classic
+	// single engine; AutoShards picks one shard per CPU, clamped to the
+	// topology's AS count; an explicit count exceeding the AS count
+	// fails fast instead of clamping.
+	Shards int
 }
 
 // DefenseSpec selects a defense system from the registry.
@@ -97,13 +106,21 @@ func NewDefense(name string, net *Network, cfg any) (DefenseSystem, error) {
 	return defense.Build(name, net, defense.BuildOptions{Config: cfg})
 }
 
-// goodputMeter tracks one sender's delivered bytes for the probes.
+// goodputMeter tracks one sender's delivered bytes for the probes. In a
+// sharded run the meter belongs to the shard owning the state its bytes
+// closure reads (the receiver side), which alone snapshots and ticks it.
 type goodputMeter struct {
 	group, sender int
 	attacker      bool
+	shard         int
 	bytes         func() int64
 	warmMark      int64
 	tickMark      int64
+	// rates accumulates per-interval goodput when a TimeseriesProbe runs
+	// sharded: each owner shard appends locally, and the probe merges in
+	// global meter order at finish so the sums are bit-identical to the
+	// single-engine tick.
+	rates []float64
 }
 
 // scenarioEnv is the mutable state shared by workload attachment, the
@@ -115,8 +132,14 @@ type scenarioEnv struct {
 	system defense.System
 	*builtTopo
 
-	meters   []*goodputMeter
-	fct      *metrics.FCT
+	// sh is the sharded-run state; nil on the classic single engine.
+	sh *shardState
+
+	meters []*goodputMeter
+	// fcts holds one FCT aggregate per shard (a single slot on the
+	// single engine): transfer results are recorded by the sender's
+	// shard and merged at finish.
+	fcts     []*metrics.FCT
 	denySet  map[packet.NodeID]bool
 	stoppers []interface{ Stop() }
 
@@ -140,6 +163,12 @@ type scenarioEnv struct {
 	duration, warmup Time
 	txWarmMarks      []uint64
 	series           []Sample
+
+	// Sharded TimeseriesProbe state: shard 0 records the tick instants,
+	// the NetFence bottleneck's shard records the monitoring flags, and
+	// every shard appends its own meters' rates (see goodputMeter.rates).
+	tickTimes []float64
+	monFlags  []bool
 }
 
 func (env *scenarioEnv) group(g int, kind string) (*roleGroup, error) {
@@ -149,10 +178,57 @@ func (env *scenarioEnv) group(g int, kind string) (*roleGroup, error) {
 	return &env.groups[g], nil
 }
 
-func (env *scenarioEnv) addMeter(group, sender int, attacker bool, bytes func() int64) {
+// addMeter registers a goodput meter whose bytes closure reads state
+// owned by owner's shard (the receiver of the measured traffic).
+func (env *scenarioEnv) addMeter(owner *netsim.Node, group, sender int, attacker bool, bytes func() int64) {
 	env.meters = append(env.meters, &goodputMeter{
-		group: group, sender: sender, attacker: attacker, bytes: bytes,
+		group: group, sender: sender, attacker: attacker,
+		shard: env.shardOf(owner), bytes: bytes,
 	})
+}
+
+// shardOf returns the shard owning a node (0 on the single engine).
+func (env *scenarioEnv) shardOf(n *netsim.Node) int {
+	if env.sh == nil {
+		return 0
+	}
+	return env.sh.shardOf(n.ID)
+}
+
+// shardCount returns the run's shard count (1 on the single engine).
+func (env *scenarioEnv) shardCount() int {
+	if env.sh == nil {
+		return 1
+	}
+	return env.sh.part.Shards
+}
+
+// fctFor returns the FCT aggregate results from node n's shard feed.
+func (env *scenarioEnv) fctFor(n *netsim.Node) *metrics.FCT {
+	return env.fcts[env.shardOf(n)]
+}
+
+// mergedFCT returns the run's combined FCT aggregate, merging shard
+// aggregates in shard order (deterministic for a fixed shard count).
+func (env *scenarioEnv) mergedFCT() *metrics.FCT {
+	if len(env.fcts) == 1 {
+		return env.fcts[0]
+	}
+	m := &metrics.FCT{}
+	for _, f := range env.fcts {
+		m.Merge(f)
+	}
+	return m
+}
+
+// newFlow allocates an attachment-time flow ID from the run-global
+// counter, mirroring the single-engine allocation order exactly.
+func (env *scenarioEnv) newFlow() packet.FlowID {
+	if env.sh == nil {
+		return env.net.NextFlow()
+	}
+	env.sh.flowSeq++
+	return packet.FlowID(env.sh.flowSeq)
 }
 
 // srcCounter returns the delivered-bytes counter for a source host at a
@@ -227,20 +303,44 @@ func (env *scenarioEnv) snapshotWarm() {
 	}
 }
 
+// snapshotWarmShard is the sharded warmup snapshot: shard sh marks the
+// meters and bottleneck counters it owns, on its own engine, at the
+// same simulated instant as every other shard. txWarmMarks is
+// preallocated at build, so concurrent shards write disjoint slots.
+func (env *scenarioEnv) snapshotWarmShard(sh int) {
+	for _, m := range env.meters {
+		if m.shard == sh {
+			m.warmMark = m.bytes()
+		}
+	}
+	for i, l := range env.bottlenecks {
+		if env.sh.shardOf(l.From.ID) == sh {
+			env.txWarmMarks[i] = l.TxBytes
+		}
+	}
+}
+
 // Instance is a built, not-yet-run scenario: the escape hatch for code
 // that needs the underlying engine, topology or defense system alongside
 // the declarative layer.
 type Instance struct {
 	Scenario Scenario
-	Eng      *Engine
-	Net      *Network
-	System   DefenseSystem
-	// Graph is the constructed role-tagged topology.
+	// Eng is the engine (shard 0's engine on a sharded run).
+	Eng *Engine
+	// Engines lists every shard engine of a sharded run (one entry on
+	// the single engine path).
+	Engines []*Engine
+	Net     *Network
+	System  DefenseSystem
+	// Graph is the constructed role-tagged topology (replica 0's on a
+	// sharded run).
 	Graph *Graph
 	// Dumbbell is the constructed topology for DumbbellSpec scenarios;
 	// ParkingLot for ParkingLotSpec scenarios. The other is nil.
 	Dumbbell   *Dumbbell
 	ParkingLot *ParkingLot
+	// Sharding describes the partition of a sharded run; nil otherwise.
+	Sharding *Sharding
 
 	env    *scenarioEnv
 	probes []Probe
@@ -265,7 +365,22 @@ func (s Scenario) Build() (*Instance, error) {
 	if s.Defense.Name == "" {
 		s.Defense.Name = "netfence"
 	}
+	switch {
+	case s.Shards == AutoShards:
+		return s.buildSharded(AutoShards)
+	case s.Shards < 0 || s.Shards == 0 || s.Shards == 1:
+		if s.Shards < 0 {
+			return nil, fmt.Errorf("scenario %q: Shards must be positive or AutoShards, got %d", s.Name, s.Shards)
+		}
+		return s.buildSingle()
+	default:
+		return s.buildSharded(s.Shards)
+	}
+}
 
+// buildSingle is the classic single-engine construction — the exact
+// pre-sharding code path, which Shards <= 1 scenarios always take.
+func (s Scenario) buildSingle() (*Instance, error) {
 	eng := sim.New(s.Seed)
 	bt, err := s.Topology.buildTopo(eng)
 	if err != nil {
@@ -286,7 +401,7 @@ func (s Scenario) Build() (*Instance, error) {
 		net:         bt.net,
 		system:      system,
 		builtTopo:   bt,
-		fct:         &metrics.FCT{},
+		fcts:        []*metrics.FCT{{}},
 		denySet:     map[packet.NodeID]bool{},
 		deployed:    deployed,
 		listeners:   map[int]bool{},
@@ -327,6 +442,7 @@ func (s Scenario) Build() (*Instance, error) {
 	return &Instance{
 		Scenario:   s,
 		Eng:        eng,
+		Engines:    []*Engine{eng},
 		Net:        bt.net,
 		System:     system,
 		Graph:      bt.graph,
@@ -338,9 +454,21 @@ func (s Scenario) Build() (*Instance, error) {
 }
 
 // Run drives the built scenario to its Duration, stops the workloads,
-// and collects every probe into the Result.
+// and collects every probe into the Result. Calling Run again returns
+// a freshly collected Result without re-driving the simulation, on the
+// sharded path as on the single engine.
 func (in *Instance) Run() *Result {
-	in.Eng.RunUntil(in.Scenario.Duration)
+	if sh := in.env.sh; sh != nil {
+		// The coordinator's workers are torn down after the run; skip
+		// the (no-op) advance on a repeat call so Run stays callable
+		// instead of panicking on the stopped coordinator.
+		if sh.coord.Now() < in.Scenario.Duration {
+			sh.coord.RunUntil(in.Scenario.Duration)
+			sh.coord.Stop()
+		}
+	} else {
+		in.Eng.RunUntil(in.Scenario.Duration)
+	}
 	for _, st := range in.env.stoppers {
 		st.Stop()
 	}

@@ -1,0 +1,326 @@
+package netfence
+
+import (
+	"fmt"
+	"runtime"
+
+	"netfence/internal/core"
+	"netfence/internal/defense"
+	"netfence/internal/metrics"
+	"netfence/internal/netsim"
+	"netfence/internal/packet"
+	"netfence/internal/sim"
+	"netfence/internal/topo"
+)
+
+// AutoShards, assigned to Scenario.Shards, requests one shard per
+// available CPU (runtime.GOMAXPROCS), clamped to the topology's
+// partitionable AS count. Unlike an explicit shard count — which fails
+// fast when it exceeds the AS count — the auto request is a capacity
+// hint and clamps by design.
+const AutoShards = -1
+
+// Partitioning errors, re-exported so callers can errors.Is against
+// them without importing internal packages.
+var (
+	// ErrTooManyShards: an explicit Scenario.Shards exceeded the
+	// topology's AS count (ASes are atomic partition units).
+	ErrTooManyShards = topo.ErrTooManyShards
+	// ErrSplitIntraAS: a partition would cut an intra-AS link.
+	ErrSplitIntraAS = topo.ErrSplitIntraAS
+	// ErrNoLookahead: a cut link has non-positive delay, so no
+	// conservative synchronization window exists.
+	ErrNoLookahead = topo.ErrNoLookahead
+)
+
+// Sharding describes a partitioned run, for introspection and tooling.
+type Sharding struct {
+	// Shards is the resolved shard count.
+	Shards int
+	// CutLinks is the number of inter-shard links.
+	CutLinks int
+	// Lookahead is the synchronization window (minimum cut-link delay).
+	Lookahead Time
+	// ASesPerShard lists each shard's AS count.
+	ASesPerShard []int
+
+	coord *sim.Coordinator
+}
+
+// Windows returns the number of synchronization rounds executed so far.
+func (sh *Sharding) Windows() uint64 { return sh.coord.Windows() }
+
+// shardState is the executor state of one sharded scenario run: N full
+// replicas of the network (identical construction on every shard engine
+// keeps node and link IDs aligned, and replays every setup random draw
+// so cryptographic state agrees across shards), of which each shard
+// "owns" — attaches live traffic to — only its partition's nodes.
+// Control-plane machinery (defense deployment, key-rotation timers,
+// detection tickers) is deliberately replicated everywhere: it is
+// per-AS-scale cheap, and replicated rotation keeps every engine's
+// random stream position-aligned with the single-engine run, which is
+// what lets the bottleneck shard's RED draw the exact values the single
+// engine would have drawn.
+type shardState struct {
+	part     *topo.Partition
+	engines  []*sim.Engine
+	replicas []*builtTopo
+	systems  []defense.System
+	coord    *sim.Coordinator
+	inboxes  [][]*netsim.Mailbox
+	flowSeq  uint32
+	info     *Sharding
+}
+
+// shardOf returns the shard owning a node.
+func (st *shardState) shardOf(id packet.NodeID) int {
+	return int(st.part.ShardOfNode[id])
+}
+
+// node returns shard sh's replica of the node with the given ID.
+func (st *shardState) node(sh int, id packet.NodeID) *netsim.Node {
+	return st.replicas[sh].net.Nodes[id]
+}
+
+// owned returns the owning replica's copy of a replica-0 node.
+func (st *shardState) owned(n *netsim.Node) *netsim.Node {
+	return st.node(st.shardOf(n.ID), n.ID)
+}
+
+// resolveAutoShards clamps the AutoShards request to
+// min(GOMAXPROCS, partitionable ASes) for a built graph. Explicit
+// counts never pass through here — Build validates them and Partition
+// fails fast on excess.
+func resolveAutoShards(g *Graph) int {
+	n := runtime.GOMAXPROCS(0)
+	if m := g.MaxShards(); n > m {
+		n = m
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// buildSharded constructs the partitioned form of the scenario:
+// per-shard engines and network replicas, mailbox-wired cut links, a
+// coordinator, and a scenarioEnv whose role view hands every workload
+// the owning replica's nodes so transports land on the right engines.
+// The scenario s must already be validated and defaulted by Build.
+func (s Scenario) buildSharded(shards int) (*Instance, error) {
+	mkReplica := func(i int) (*sim.Engine, *builtTopo, error) {
+		eng := sim.New(s.Seed)
+		eng.SetShardTag(i)
+		eng.EnableKeyStreams(s.Seed)
+		bt, err := s.Topology.buildTopo(eng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		return eng, bt, nil
+	}
+
+	eng0, bt0, err := mkReplica(0)
+	if err != nil {
+		return nil, err
+	}
+	if shards == AutoShards {
+		shards = resolveAutoShards(bt0.graph)
+		if shards <= 1 {
+			// A topology too small to split runs the exact single-engine
+			// path, untagged and unkeyed.
+			return s.buildSingle()
+		}
+	}
+	part, err := bt0.graph.Partition(shards)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: Shards=%d: %w", s.Name, shards, err)
+	}
+
+	st := &shardState{
+		part:     part,
+		engines:  make([]*sim.Engine, shards),
+		replicas: make([]*builtTopo, shards),
+		systems:  make([]defense.System, shards),
+		inboxes:  make([][]*netsim.Mailbox, shards),
+	}
+	st.engines[0], st.replicas[0] = eng0, bt0
+	for i := 1; i < shards; i++ {
+		if st.engines[i], st.replicas[i], err = mkReplica(i); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replicated control plane: the full defense deploys on every shard
+	// engine so keyrings, Passport keys, rotation timers and detection
+	// state exist — and draw the same setup randomness — everywhere.
+	plan, deployed, err := s.Deployment.plan(bt0.graph.SourceASes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	env := &scenarioEnv{
+		sc:          &s,
+		eng:         eng0,
+		net:         bt0.net,
+		sh:          st,
+		fcts:        make([]*metrics.FCT, shards),
+		denySet:     map[packet.NodeID]bool{},
+		deployed:    deployed,
+		listeners:   map[int]bool{},
+		srcCounters: map[int]map[packet.NodeID]*int64{},
+		duration:    s.Duration,
+		warmup:      s.Warmup,
+	}
+	for i := range env.fcts {
+		env.fcts[i] = &metrics.FCT{}
+	}
+	var deny defense.Policy
+	if s.DenyAttackers {
+		deny.Deny = func(src packet.NodeID) bool { return env.denySet[src] }
+	}
+	for i := 0; i < shards; i++ {
+		sys, err := defense.Build(s.Defense.Name, st.replicas[i].net, defense.BuildOptions{Config: s.Defense.Config})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		st.systems[i] = sys
+		st.replicas[i].graph.Deploy(sys, deny, plan)
+	}
+	env.system = st.systems[0]
+
+	// Stitch the role view: every workload-visible node is the OWNING
+	// replica's copy, so attaching a transport lands it on the right
+	// engine without the workload code knowing about shards.
+	stitched := &builtTopo{
+		name:       bt0.name,
+		net:        bt0.net,
+		graph:      bt0.graph,
+		dumbbell:   bt0.dumbbell,
+		parkingLot: bt0.parkingLot,
+	}
+	for _, l := range bt0.bottlenecks {
+		owner := st.shardOf(l.From.ID)
+		stitched.bottlenecks = append(stitched.bottlenecks, st.replicas[owner].net.Links[l.Index])
+	}
+	for _, grp := range bt0.groups {
+		rg := roleGroup{}
+		for _, n := range grp.senders {
+			rg.senders = append(rg.senders, st.owned(n))
+		}
+		if grp.victim != nil {
+			rg.victim = st.owned(grp.victim)
+		}
+		for _, c := range grp.colluders {
+			rg.colluders = append(rg.colluders, st.owned(c))
+		}
+		stitched.groups = append(stitched.groups, rg)
+	}
+	env.builtTopo = stitched
+
+	if len(stitched.bottlenecks) > 0 {
+		bn := stitched.bottlenecks[0]
+		owner := st.shardOf(bn.From.ID)
+		if cs, ok := st.systems[owner].(*core.System); ok {
+			env.nfBottleneck = cs.Bottleneck(bn)
+		}
+	}
+
+	// Wire the cut links: the source replica's link hands off into the
+	// destination replica's copy.
+	for _, l := range part.CutLinks {
+		src := st.shardOf(l.From.ID)
+		dst := st.shardOf(l.To.ID)
+		mb := netsim.NewMailbox(st.replicas[dst].net.Links[l.Index])
+		st.replicas[src].net.Links[l.Index].SetMailbox(mb)
+		st.inboxes[dst] = append(st.inboxes[dst], mb)
+	}
+
+	names := shardNames(part, bt0.graph)
+	st.coord = sim.NewCoordinator(st.engines, part.Lookahead, names)
+	st.coord.SetDrain(func(shard int, deadline sim.Time) bool {
+		hit := false
+		for _, mb := range st.inboxes[shard] {
+			if mb.Drain(deadline) {
+				hit = true
+			}
+		}
+		return hit
+	})
+	st.info = &Sharding{
+		Shards:       shards,
+		CutLinks:     len(part.CutLinks),
+		Lookahead:    part.Lookahead,
+		ASesPerShard: make([]int, shards),
+		coord:        st.coord,
+	}
+	for _, sh := range part.ShardOfAS {
+		st.info.ASesPerShard[sh]++
+	}
+
+	for _, w := range s.Workloads {
+		if err := w.attach(env); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	// Give each replica's runtime flow counter a range disjoint from the
+	// attach-time flows and from every other shard, so file/web
+	// transfers opening flows mid-run never collide across shards.
+	for i := range st.replicas {
+		st.replicas[i].net.SetFlowBase(st.flowSeq + uint32(i+1)<<20)
+	}
+
+	probes := s.Probes
+	if probes == nil {
+		probes = []Probe{GoodputProbe{}, FairnessProbe{}, FCTProbe{}}
+	}
+	for _, p := range probes {
+		if err := p.install(env); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	// Warmup marks are taken shard-locally: each engine snapshots the
+	// meters and bottleneck counters its shard owns, at the same
+	// simulated instant.
+	env.txWarmMarks = make([]uint64, len(stitched.bottlenecks))
+	for i := range st.engines {
+		shard := i
+		st.engines[i].At(s.Warmup, func() { env.snapshotWarmShard(shard) })
+	}
+
+	return &Instance{
+		Scenario:   s,
+		Eng:        eng0,
+		Engines:    st.engines,
+		Net:        bt0.net,
+		System:     st.systems[0],
+		Graph:      bt0.graph,
+		Dumbbell:   bt0.dumbbell,
+		ParkingLot: bt0.parkingLot,
+		Sharding:   st.info,
+		env:        env,
+		probes:     probes,
+	}, nil
+}
+
+// shardNames labels each shard with its AS span for pprof attribution.
+func shardNames(part *topo.Partition, g *Graph) []string {
+	firsts := make([]packet.ASID, part.Shards)
+	lasts := make([]packet.ASID, part.Shards)
+	seen := make([]bool, part.Shards)
+	for _, as := range g.AllASes() {
+		sh := part.ShardOfAS[as]
+		if !seen[sh] {
+			seen[sh] = true
+			firsts[sh] = as
+		}
+		lasts[sh] = as
+	}
+	names := make([]string, part.Shards)
+	for i := range names {
+		if firsts[i] == lasts[i] {
+			names[i] = fmt.Sprintf("as%d", firsts[i])
+		} else {
+			names[i] = fmt.Sprintf("as%d-as%d", firsts[i], lasts[i])
+		}
+	}
+	return names
+}

@@ -1,0 +1,270 @@
+package netfence
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"netfence/internal/topo"
+)
+
+// equivScenario is the shared deterministic workload mix the sharded
+// equivalence suite runs on every topology: long-running TCP users, a
+// victim-bound UDP flood, and (where the topology offers colluders) the
+// colluder-pair flood, under full NetFence deployment with the
+// receiver deny policy — the paper's operating regime, which keeps the
+// bottleneck congested so queue order, drops and feedback all matter.
+func equivScenario(topoSpec TopologySpec, workloads []Workload, shards int) Scenario {
+	return Scenario{
+		Name:          "equiv",
+		Seed:          7,
+		Topology:      topoSpec,
+		Defense:       Defense("netfence"),
+		Workloads:     workloads,
+		DenyAttackers: true,
+		Duration:      30 * Second,
+		Warmup:        10 * Second,
+		Shards:        shards,
+	}
+}
+
+func resultJSON(t *testing.T, sc Scenario) string {
+	t.Helper()
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatalf("%s (shards=%d): %v", sc.Name, sc.Shards, err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// diffJSON pinpoints the first divergence for debuggability.
+func diffJSON(t *testing.T, name string, want, got string, shards int) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hiW, hiG := i+120, i+120
+	if hiW > len(want) {
+		hiW = len(want)
+	}
+	if hiG > len(got) {
+		hiG = len(got)
+	}
+	t.Fatalf("%s: shards=%d diverged from the single engine at byte %d:\nsingle: ...%s...\nsharded: ...%s...",
+		name, shards, i, want[lo:hiW], got[lo:hiG])
+}
+
+// TestShardedEquivalenceTopologies is the golden-equivalence gate of
+// the sharded executor: on each of the four in-tree topologies, the
+// partitioned run must reproduce the single-engine Result JSON byte for
+// byte at several shard counts.
+func TestShardedEquivalenceTopologies(t *testing.T) {
+	cases := []struct {
+		name      string
+		spec      TopologySpec
+		workloads []Workload
+		shards    []int
+	}{
+		{
+			name: "dumbbell",
+			spec: DumbbellSpec{Senders: 20, BottleneckBps: 4_000_000, ColluderASes: 3},
+			workloads: []Workload{
+				LongTCP{Senders: Range(0, 5)},
+				UDPFlood{Senders: Range(5, 12)},
+				ColluderPairs{Senders: Range(12, 20), RateBps: 1_000_000},
+			},
+			shards: []int{2, 4, 8},
+		},
+		{
+			name: "parking-lot",
+			spec: ParkingLotSpec{SendersPerGroup: 10, L1Bps: 4_000_000, L2Bps: 2_000_000},
+			workloads: []Workload{
+				LongTCP{Group: 0, Senders: Range(0, 3)},
+				UDPFlood{Group: 0, Senders: Range(3, 10)},
+				LongTCP{Group: 1, Senders: Range(0, 3)},
+				ColluderPairs{Group: 1, Senders: Range(3, 10), RateBps: 1_000_000},
+				LongTCP{Group: 2, Senders: Range(0, 10)},
+			},
+			shards: []int{2, 4, 8},
+		},
+		{
+			name: "star",
+			spec: StarSpec{Senders: 16, BottleneckBps: 3_200_000, ColluderASes: 2},
+			workloads: []Workload{
+				LongTCP{Senders: Range(0, 4)},
+				UDPFlood{Senders: Range(4, 10)},
+				ColluderPairs{Senders: Range(10, 16), RateBps: 1_000_000},
+			},
+			shards: []int{2, 4},
+		},
+		{
+			name: "random-as",
+			spec: RandomASSpec{Senders: 20, BottleneckBps: 4_000_000, TransitASes: 4, ExtraLinks: 2, ColluderASes: 3, GraphSeed: 3},
+			workloads: []Workload{
+				LongTCP{Senders: Range(0, 5)},
+				UDPFlood{Senders: Range(5, 12)},
+				ColluderPairs{Senders: Range(12, 20), RateBps: 1_000_000},
+			},
+			shards: []int{2, 4, 8},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			single := resultJSON(t, equivScenario(tc.spec, tc.workloads, 1))
+			for _, n := range tc.shards {
+				got := resultJSON(t, equivScenario(tc.spec, tc.workloads, n))
+				diffJSON(t, tc.name, single, got, n)
+			}
+		})
+	}
+}
+
+// TestShardedEquivalenceFuzz sweeps seeds over the random-as topology
+// (varying the traffic, not the wiring) and asserts identical Result
+// JSON at shards 1, 2, 4 and 8 — the cross-shard determinism fuzz of
+// the mailbox handoff. It also exercises the handoff under -race when
+// the race job runs it.
+func TestShardedEquivalenceFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep is a long test; the topology suite covers short runs")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		spec := RandomASSpec{Senders: 16, BottleneckBps: 3_200_000, TransitASes: 4, ExtraLinks: 1, ColluderASes: 2, GraphSeed: 2}
+		wl := []Workload{
+			LongTCP{Senders: Range(0, 4)},
+			AttackSpec{Strategy: "onoff-sync", Senders: Range(4, 10), RateBps: 1_000_000},
+			ColluderPairs{Senders: Range(10, 16), RateBps: 1_000_000},
+		}
+		sc := equivScenario(spec, wl, 1)
+		sc.Seed = seed
+		sc.Duration = 20 * Second
+		sc.Warmup = 8 * Second
+		single := resultJSON(t, sc)
+		for _, n := range []int{2, 4, 8} {
+			scn := sc
+			scn.Shards = n
+			got := resultJSON(t, scn)
+			diffJSON(t, fmt.Sprintf("fuzz-seed%d", seed), single, got, n)
+		}
+	}
+}
+
+// TestShardedRace drives a small sharded scenario so `go test -race`
+// exercises the mailbox handoff, barrier hand-over and per-shard meter
+// ticking under the race detector. Kept unconditionally short.
+func TestShardedRace(t *testing.T) {
+	sc := equivScenario(
+		DumbbellSpec{Senders: 8, BottleneckBps: 1_600_000, ColluderASes: 2},
+		[]Workload{
+			LongTCP{Senders: Range(0, 2)},
+			UDPFlood{Senders: Range(2, 5)},
+			ColluderPairs{Senders: Range(5, 8), RateBps: 1_000_000},
+		}, 4)
+	sc.Duration = 10 * Second
+	sc.Warmup = 4 * Second
+	sc.Probes = []Probe{GoodputProbe{}, FairnessProbe{}, FCTProbe{}, TimeseriesProbe{Interval: 2 * Second}}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardsFailFast pins the named-error contract: an explicit shard
+// count beyond the AS count errors instead of silently clamping.
+func TestShardsFailFast(t *testing.T) {
+	sc := equivScenario(
+		DumbbellSpec{Senders: 4, BottleneckBps: 1_000_000},
+		[]Workload{LongTCP{Senders: Range(0, 4)}}, 64)
+	_, err := sc.Run()
+	if err == nil {
+		t.Fatal("Shards=64 on a 6-AS topology should fail")
+	}
+	if !errors.Is(err, topo.ErrTooManyShards) {
+		t.Fatalf("err = %v, want ErrTooManyShards", err)
+	}
+	sc.Shards = -5
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("negative Shards should fail")
+	}
+}
+
+// TestAutoShards resolves AutoShards to a valid clamped count and runs.
+func TestAutoShards(t *testing.T) {
+	sc := equivScenario(
+		StarSpec{Senders: 6, BottleneckBps: 1_200_000},
+		[]Workload{LongTCP{Senders: Range(0, 6)}}, AutoShards)
+	sc.Duration = 6 * Second
+	sc.Warmup = 2 * Second
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Senders != 6 {
+		t.Fatalf("Senders = %d", res.Senders)
+	}
+}
+
+// TestSweepShardsAxis pins the Sweep shards axis: cell naming, shard
+// assignment, and byte-identical results across the axis for a
+// deterministic scenario.
+func TestSweepShardsAxis(t *testing.T) {
+	base := equivScenario(
+		DumbbellSpec{Senders: 8, BottleneckBps: 1_600_000, ColluderASes: 2},
+		[]Workload{
+			LongTCP{Senders: Range(0, 2)},
+			ColluderPairs{Senders: Range(2, 8), RateBps: 1_000_000},
+		}, 0)
+	base.Duration = 12 * Second
+	base.Warmup = 4 * Second
+	sw := Sweep{Base: base, Shards: []int{1, 2, 4}}
+	scs := sw.Scenarios()
+	if len(scs) != 3 {
+		t.Fatalf("expanded %d cells, want 3", len(scs))
+	}
+	for i, want := range []int{1, 2, 4} {
+		if scs[i].Shards != want {
+			t.Fatalf("cell %d Shards = %d, want %d", i, scs[i].Shards, want)
+		}
+	}
+	if scs[1].Name != "equiv/netfence/n=8/shards=2/seed=7" {
+		t.Fatalf("cell name = %q", scs[1].Name)
+	}
+	results, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(r *Result) string {
+		c := *r
+		c.Scenario = ""
+		raw, _ := json.Marshal(&c)
+		return string(raw)
+	}
+	if mk(results[0]) != mk(results[1]) || mk(results[0]) != mk(results[2]) {
+		t.Fatalf("shards axis results diverge:\n1: %s\n2: %s\n4: %s", mk(results[0]), mk(results[1]), mk(results[2]))
+	}
+}
+
+// TestSweepShardsValidation pins fail-fast on a bad shards axis.
+func TestSweepShardsValidation(t *testing.T) {
+	base := equivScenario(DumbbellSpec{Senders: 4, BottleneckBps: 1_000_000},
+		[]Workload{LongTCP{Senders: Range(0, 4)}}, 0)
+	if _, err := (Sweep{Base: base, Shards: []int{0}}).Run(); err == nil {
+		t.Fatal("Shards axis entry 0 should fail")
+	}
+	if _, err := (Sweep{Base: base, Shards: []int{-3}}).Run(); err == nil {
+		t.Fatal("negative Shards axis entry should fail")
+	}
+}

@@ -12,7 +12,8 @@ import (
 )
 
 // Sweep fans a scenario matrix — defenses × populations × deployment
-// fractions × attacks × seeds — across goroutines, one engine per scenario, and
+// fractions × attacks × seeds × shard counts — across goroutines, one
+// engine (or engine group, for sharded cells) per scenario, and
 // returns a unified result set. Results are deterministic: the matrix
 // expands in a fixed order, every scenario runs on its own seeded
 // engine, and results land in matrix order regardless of worker count,
@@ -51,7 +52,17 @@ type Sweep struct {
 	Attacks []string
 	// Seeds lists RNG seeds to sweep (nil = just Base's).
 	Seeds []uint64
-	// Parallelism caps concurrent scenarios (0 = GOMAXPROCS).
+	// Shards lists per-scenario shard counts to sweep (nil = just
+	// Base's Shards): each cell runs its engines partitioned that many
+	// ways — the parallel-execution axis, for speedup and equivalence
+	// studies.
+	Shards []int
+	// Parallelism caps concurrent scenarios. 0 budgets the sum of
+	// in-flight shard goroutines (a cell's width is its shard count) to
+	// GOMAXPROCS — sharded cells bring their own goroutines, and
+	// oversubscribing the scheduler thrashes every cell's window
+	// barriers. Set it explicitly to override the budget with a plain
+	// worker cap.
 	Parallelism int
 }
 
@@ -93,6 +104,11 @@ func (sw Sweep) Scenarios() []Scenario {
 	if len(seeds) == 0 {
 		seeds = []uint64{sw.Base.Seed}
 	}
+	shardsAxis := sw.Shards
+	sweepShards := len(shardsAxis) > 0
+	if !sweepShards {
+		shardsAxis = []int{0} // keep the base scenario's Shards
+	}
 	baseName := sw.Base.Name
 	if baseName == "" {
 		baseName = "sweep"
@@ -108,51 +124,58 @@ func (sw Sweep) Scenarios() []Scenario {
 			for _, dep := range deploys {
 				for _, atk := range attacks {
 					for _, seed := range seeds {
-						sc := sw.Base
-						if pop > 0 {
-							if sw.BaseFor != nil {
-								sc = sw.BaseFor(pop)
-							} else if sc.Topology != nil {
-								sc.Topology = sc.Topology.withPopulation(pop)
+						for _, nsh := range shardsAxis {
+							sc := sw.Base
+							if pop > 0 {
+								if sw.BaseFor != nil {
+									sc = sw.BaseFor(pop)
+								} else if sc.Topology != nil {
+									sc.Topology = sc.Topology.withPopulation(pop)
+								}
 							}
-						}
-						// A system-specific config only survives onto its own
-						// system; other cells fall back to defaults. The cell's
-						// scenario (Base or BaseFor's output) owns the config.
-						cellDefense := defense.Canonical(sc.Defense.Name)
-						if cellDefense == "" {
-							cellDefense = baseDefense
-						}
-						cellConfig := sc.Defense.Config
-						if cellConfig == nil && cellDefense == baseDefense {
-							cellConfig = sw.Base.Defense.Config
-						}
-						sc.Defense = DefenseSpec{Name: d}
-						if defense.Canonical(d) == cellDefense {
-							sc.Defense.Config = cellConfig
-						}
-						sc.Seed = seed
-						// A registry-resolved spec on its builder default has
-						// no declared population; omit the segment rather
-						// than reporting a misleading n=0.
-						popSeg := ""
-						if sc.Topology != nil {
-							if n := sc.Topology.population(); n > 0 {
-								popSeg = fmt.Sprintf("/n=%d", n)
+							// A system-specific config only survives onto its own
+							// system; other cells fall back to defaults. The cell's
+							// scenario (Base or BaseFor's output) owns the config.
+							cellDefense := defense.Canonical(sc.Defense.Name)
+							if cellDefense == "" {
+								cellDefense = baseDefense
 							}
+							cellConfig := sc.Defense.Config
+							if cellConfig == nil && cellDefense == baseDefense {
+								cellConfig = sw.Base.Defense.Config
+							}
+							sc.Defense = DefenseSpec{Name: d}
+							if defense.Canonical(d) == cellDefense {
+								sc.Defense.Config = cellConfig
+							}
+							sc.Seed = seed
+							// A registry-resolved spec on its builder default has
+							// no declared population; omit the segment rather
+							// than reporting a misleading n=0.
+							popSeg := ""
+							if sc.Topology != nil {
+								if n := sc.Topology.population(); n > 0 {
+									popSeg = fmt.Sprintf("/n=%d", n)
+								}
+							}
+							deploySeg := ""
+							if sweepDeploy {
+								sc.Deployment = DeployFraction(dep)
+								deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
+							}
+							attackSeg := ""
+							if sweepAttack {
+								sc.Workloads = retargetAttacks(sc.Workloads, atk)
+								attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
+							}
+							shardSeg := ""
+							if sweepShards {
+								sc.Shards = nsh
+								shardSeg = fmt.Sprintf("/shards=%d", nsh)
+							}
+							sc.Name = fmt.Sprintf("%s/%s%s%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, attackSeg, shardSeg, seed)
+							out = append(out, sc)
 						}
-						deploySeg := ""
-						if sweepDeploy {
-							sc.Deployment = DeployFraction(dep)
-							deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
-						}
-						attackSeg := ""
-						if sweepAttack {
-							sc.Workloads = retargetAttacks(sc.Workloads, atk)
-							attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
-						}
-						sc.Name = fmt.Sprintf("%s/%s%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, attackSeg, seed)
-						out = append(out, sc)
 					}
 				}
 			}
@@ -205,6 +228,11 @@ func (sw Sweep) Run() ([]*Result, error) {
 	for _, f := range sw.DeployFractions {
 		if f < 0 || f > 1 {
 			return nil, fmt.Errorf("netfence: Sweep deployment fraction %v outside [0, 1]", f)
+		}
+	}
+	for _, n := range sw.Shards {
+		if n == 0 || (n < 0 && n != AutoShards) {
+			return nil, fmt.Errorf("netfence: Sweep shard count %d must be positive or AutoShards", n)
 		}
 	}
 	if err := sw.checkAttacks(); err != nil {
@@ -284,11 +312,70 @@ func (sw Sweep) checkPopulation(pop int) error {
 	return nil
 }
 
+// cpuTokens is a weighted semaphore over GOMAXPROCS: each in-flight
+// sweep cell holds as many tokens as it has shard goroutines, so the
+// sum of running shards never exceeds the CPU budget while cells of
+// different widths pack freely (a shards=8 cell does not halve the
+// concurrency of the shards=1 cells around it).
+type cpuTokens struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newCPUTokens(n int) *cpuTokens {
+	t := &cpuTokens{free: n}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *cpuTokens) acquire(n int) {
+	t.mu.Lock()
+	for t.free < n {
+		t.cond.Wait()
+	}
+	t.free -= n
+	t.mu.Unlock()
+}
+
+func (t *cpuTokens) release(n int) {
+	t.mu.Lock()
+	t.free += n
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// cellWidth is the CPU-token cost of one built scenario: its realized
+// shard count (AutoShards already resolved and clamped by Build),
+// clamped to the budget so every cell can run at all.
+func cellWidth(in *Instance, budget int) int {
+	n := 1
+	if in.Sharding != nil {
+		n = in.Sharding.Shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > budget {
+		n = budget
+	}
+	return n
+}
+
 // runParallel drives scenarios across a bounded worker pool, slotting
-// each result at its scenario's index.
+// each result at its scenario's index. With no explicit parallelism it
+// budgets the sum of in-flight shard goroutines to GOMAXPROCS via a
+// weighted semaphore: every sharded cell brings its own goroutines,
+// and running more than the budget allows makes each cell's window
+// barriers wait on descheduled workers — oversubscription slows the
+// whole sweep down rather than speeding it up. An explicit parallelism
+// overrides the budget and caps plain worker count instead.
 func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
+	var tokens *cpuTokens
+	budget := runtime.GOMAXPROCS(0)
 	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+		parallelism = budget
+		tokens = newCPUTokens(budget)
 	}
 	if parallelism > len(scs) {
 		parallelism = len(scs)
@@ -302,10 +389,25 @@ func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := scs[i].Run()
+				// Build before costing: the instance knows its realized
+				// shard count (AutoShards resolved against the actual
+				// topology), so an auto-sharded cell over a small
+				// topology is charged what it really uses. At most
+				// `parallelism` built-but-waiting cells exist, the same
+				// bound as running cells.
+				in, err := scs[i].Build()
 				if err != nil {
 					errs[i] = err
 					continue
+				}
+				n := 0
+				if tokens != nil {
+					n = cellWidth(in, budget)
+					tokens.acquire(n)
+				}
+				res := in.Run()
+				if tokens != nil {
+					tokens.release(n)
 				}
 				results[i] = res
 			}

@@ -77,9 +77,9 @@ func (w LongTCP) attach(env *scenarioEnv) error {
 		if err != nil {
 			return err
 		}
-		flow := env.net.NextFlow()
+		flow := env.newFlow()
 		r := transport.NewTCPReceiver(victim.Host, flow)
-		env.addMeter(w.Group, idx, false, r.DeliveredBytes)
+		env.addMeter(victim, w.Group, idx, false, r.DeliveredBytes)
 		transport.NewTCPSender(h.Host, victim.ID, flow, -1, cfg).Start()
 	}
 	return nil
@@ -127,10 +127,11 @@ func (w FileTransfers) attach(env *scenarioEnv) error {
 			return err
 		}
 		ctr := env.srcCounter(w.Group, h.ID)
-		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
+		env.addMeter(victim, w.Group, idx, false, func() int64 { return *ctr })
 		c := transport.NewFileClient(h.Host, victim.ID, size, cfg)
 		c.Gap = w.Gap
-		c.OnResult = func(fct Time, ok bool) { env.fct.Add(fct, ok) }
+		fct := env.fctFor(h)
+		c.OnResult = func(d Time, ok bool) { fct.Add(d, ok) }
 		env.stoppers = append(env.stoppers, c)
 		c.Start()
 	}
@@ -169,9 +170,10 @@ func (w WebTraffic) attach(env *scenarioEnv) error {
 			return err
 		}
 		ctr := env.srcCounter(w.Group, h.ID)
-		env.addMeter(w.Group, idx, false, func() int64 { return *ctr })
+		env.addMeter(victim, w.Group, idx, false, func() int64 { return *ctr })
 		src := transport.NewWebSource(h.Host, victim.ID, cfg)
-		src.OnResult = func(_ int64, fct Time, ok bool) { env.fct.Add(fct, ok) }
+		fct := env.fctFor(h)
+		src.OnResult = func(_ int64, d Time, ok bool) { fct.Add(d, ok) }
 		env.stoppers = append(env.stoppers, src)
 		src.Start()
 	}
@@ -298,9 +300,9 @@ func attachFlood(env *scenarioEnv, spec floodSpec) error {
 		} else {
 			env.denySet[h.ID] = true
 		}
-		flow := env.net.NextFlow()
+		flow := env.newFlow()
 		sink := transport.NewUDPSink(dstHost.Host, flow)
-		env.addMeter(spec.group, idx, true, func() int64 { return int64(sink.Bytes) })
+		env.addMeter(dstHost, spec.group, idx, true, func() int64 { return int64(sink.Bytes) })
 		u := transport.NewUDPSource(h.Host, dstHost.ID, flow, rate, pktSize)
 		u.OnTime, u.OffTime = spec.on, spec.off
 		u.OffRateBps = spec.offRate
@@ -355,7 +357,7 @@ func (w RequestFlood) attach(env *scenarioEnv) error {
 			return err
 		}
 		env.denySet[h.ID] = true
-		flow := env.net.NextFlow()
+		flow := env.newFlow()
 		f := transport.NewRequestFlooder(h.Host, victim.ID, flow, rate, level)
 		env.stoppers = append(env.stoppers, f)
 		f.Start()
@@ -411,24 +413,36 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 			return err
 		}
 	}
-	aenv := &attack.Env{
-		Eng:       env.eng,
-		Attackers: len(w.Senders),
-		Config:    env.nfConfig(),
+	// One controller (and one strategy instance) per shard owning attack
+	// senders: each ticks on its own engine, so crafted traffic and
+	// feedback observation stay shard-local. The in-tree strategies keep
+	// no cross-sender mutable state — population-level choices derive
+	// from the shared clock and the workload-wide Attackers count — so
+	// splitting the population across controllers leaves every sender's
+	// behavior identical to the single-controller run. On the single
+	// engine this degenerates to exactly one controller, the historical
+	// path.
+	mkCtrl := func(eng *Engine) (*attack.Controller, error) {
+		aenv := &attack.Env{
+			Eng:       eng,
+			Attackers: len(w.Senders),
+			Config:    env.nfConfig(),
+		}
+		if len(env.bottlenecks) > 0 {
+			aenv.BottleneckBps = env.bottleneckBps()
+		}
+		strat, err := attack.Build(name, attack.BuildOptions{
+			RateBps: w.RateBps,
+			PktSize: w.PktSize,
+			Env:     aenv,
+			Options: w.Options,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return attack.NewController(strat, aenv), nil
 	}
-	if len(env.bottlenecks) > 0 {
-		aenv.BottleneckBps = env.bottleneckBps()
-	}
-	strat, err := attack.Build(name, attack.BuildOptions{
-		RateBps: w.RateBps,
-		PktSize: w.PktSize,
-		Env:     aenv,
-		Options: w.Options,
-	})
-	if err != nil {
-		return err
-	}
-	ctrl := attack.NewController(strat, aenv)
+	ctrls := map[int]*attack.Controller{}
 	for k, idx := range w.Senders {
 		h, err := grp.sender(idx, "AttackSpec")
 		if err != nil {
@@ -440,13 +454,25 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 		} else {
 			env.denySet[h.ID] = true
 		}
-		flow := env.net.NextFlow()
+		sh := env.shardOf(h)
+		ctrl := ctrls[sh]
+		if ctrl == nil {
+			if ctrl, err = mkCtrl(h.Host.Network().Eng); err != nil {
+				return err
+			}
+			ctrls[sh] = ctrl
+		}
+		flow := env.newFlow()
 		sink := transport.NewUDPSink(dstHost.Host, flow)
-		env.addMeter(w.Group, idx, true, func() int64 { return int64(sink.Bytes) })
+		env.addMeter(dstHost, w.Group, idx, true, func() int64 { return int64(sink.Bytes) })
 		ctrl.AddSender(h.Host, dstHost.ID, flow)
 	}
 	env.recordAttack(attack.Canonical(name))
-	env.stoppers = append(env.stoppers, ctrl)
-	ctrl.Start()
+	for sh := 0; sh < env.shardCount(); sh++ {
+		if ctrl := ctrls[sh]; ctrl != nil {
+			env.stoppers = append(env.stoppers, ctrl)
+			ctrl.Start()
+		}
+	}
 	return nil
 }
