@@ -62,22 +62,41 @@
 // -cpuprofile and -memprofile write pprof profiles covering the run;
 // shard worker goroutines carry pprof labels (shard=<as-range>) so
 // profiles attribute hot paths to partitions.
+//
+// -serve starts the simulation service instead of a batch command: an
+// HTTP API that accepts scenario and sweep jobs as JSON, runs them on
+// a bounded worker pool, streams timeseries samples over SSE, and
+// exposes a live control endpoint feeding mutations into running
+// scenarios through the same code path scripted timelines use:
+//
+//	netfence-sim -serve -addr 127.0.0.1:8080
+//	netfence-sim -serve -addr :0 -serve-workers 4 -serve-queue 32
+//
+// The first SIGINT/SIGTERM drains in-flight jobs gracefully (statuses
+// stay readable during the drain); a second signal aborts running jobs
+// at their next segment boundary, keeping partial results. Plain batch
+// sweeps honor the same signals: completed cells are printed before
+// the interrupt error surfaces.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"netfence"
 	"netfence/internal/defense"
 	"netfence/internal/exp"
+	"netfence/internal/server"
 	"netfence/internal/sim"
 )
 
@@ -94,7 +113,13 @@ func main() {
 
 		shards = flag.Int("shards", 1, "partition scenario topologies into this many per-AS shards, one engine per shard (1 = classic single engine; -1 = one shard per CPU). Applies to -sweep and the -bench-scale large/huge cells; the -exp figures drive the low-level API and stay single-engine")
 
+		serveMode    = flag.Bool("serve", false, "run the simulation service (HTTP job queue + SSE streaming + live control) instead of a batch command")
+		addr         = flag.String("addr", "127.0.0.1:8080", "serve: listen address (use :0 for an ephemeral port)")
+		serveWorkers = flag.Int("serve-workers", 2, "serve: jobs run concurrently")
+		serveQueue   = flag.Int("serve-queue", 16, "serve: queued-job bound; past it POST /jobs answers 503")
+
 		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
+		progress   = flag.Bool("progress", false, "sweep: print per-cell completion progress to stderr")
 		topoName   = flag.String("topo", "", "sweep: registered topology name (default: the paper's 9-colluder dumbbell)")
 		seeds      = flag.String("seeds", "1", "sweep: comma-separated RNG seeds")
 		senders    = flag.String("senders", "20", "sweep: comma-separated sender populations")
@@ -178,6 +203,11 @@ func main() {
 		return
 	}
 
+	if *serveMode {
+		runServe(*addr, *serveWorkers, *serveQueue)
+		return
+	}
+
 	defenseList, err := parseDefenses(*defenses)
 	if err != nil {
 		fatal(err)
@@ -188,7 +218,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel, *shards)
+		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel, *shards, *progress)
 		return
 	}
 
@@ -224,13 +254,43 @@ func main() {
 	}
 }
 
+// runServe runs the simulation service until a signal arrives. The
+// first SIGINT/SIGTERM starts a graceful drain — no new submissions,
+// queued jobs cancelled, running jobs allowed to finish, statuses
+// readable throughout; a second signal aborts the running jobs at
+// their next segment boundary, flushing whatever partial state they
+// accumulated.
+func runServe(addr string, workers, queueDepth int) {
+	s := server.New(server.Config{Addr: addr, Workers: workers, QueueDepth: queueDepth})
+	if err := s.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "netfence-sim: serving on http://%s (%d workers, queue %d)\n",
+		s.Addr(), workers, queueDepth)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	fmt.Fprintln(os.Stderr, "netfence-sim: draining in-flight jobs (signal again to abort them)")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "netfence-sim: aborting running jobs")
+		cancel()
+	}()
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
 // runSweep fans the paper's collusion scenario (25% long-TCP users, 75%
 // colluder-bound attackers) over defenses × populations × deployment
 // fractions × attacks × seeds, on the default dumbbell or any registered
 // topology. Without -attack the attacker side is the classic static
 // colluder flood; with it, the attackers are driven by each listed
 // adaptive strategy in turn (the Sweep.Attacks axis).
-func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism, shards int) {
+func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism, shards int, showProgress bool) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -318,9 +378,19 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 		Seeds:           seedList,
 		Parallelism:     parallelism,
 	}
+	if showProgress {
+		sw.Progress = func(done, total int, cell string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, cell)
+		}
+	}
+
+	// SIGINT/SIGTERM checkpoint the sweep: in-flight cells finish, the
+	// completed results print, and the interrupt error surfaces last.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	start := time.Now()
-	results, err := sw.Run()
+	results, err := sw.RunContext(ctx)
 	// A failing cell must not throw away the completed cells' work:
 	// print what finished, then the error.
 	completed := 0
@@ -448,11 +518,16 @@ type benchRow struct {
 }
 
 type benchReport struct {
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	NumCPU    int        `json:"num_cpu"`
-	Rows      []benchRow `json:"benchmarks"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS and Hostname identify the execution environment behind
+	// a baseline, so cross-machine comparisons are visibly apples to
+	// oranges.
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Hostname   string     `json:"hostname,omitempty"`
+	Rows       []benchRow `json:"benchmarks"`
 }
 
 // timeSuite runs fn once, accounting wall time, simulator events and heap
@@ -519,11 +594,14 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		return row
 	}
 
+	hostname, _ := os.Hostname()
 	rep := benchReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hostname:   hostname,
 	}
 	switch scale {
 	case "tiny":

@@ -222,16 +222,28 @@ func (s *Sender) emit() {
 	s.Sent++
 }
 
+// Inner returns the shim the sender wraps (the deployed defense layer,
+// or nil on legacy hosts). Deployment mutations use it to splice the
+// defense shim in or out from underneath a live attack wrapper.
+func (s *Sender) Inner() netsim.Shim { return s.inner }
+
+// SetInner replaces the wrapped shim. See Inner.
+func (s *Sender) SetInner(sh netsim.Shim) { s.inner = sh }
+
 // Controller drives one attack workload: it wraps each sender host's
 // shim, paces emission per the strategy's Decisions, and re-consults the
 // strategy on a shared tick. Construct with NewController, add senders,
-// then Start; Stop halts all senders (scenario teardown).
+// then Start; Stop halts all senders (scenario teardown, or an attack
+// off-switch mid-run — a later Start resumes cleanly).
 type Controller struct {
 	strategy Strategy
 	env      *Env
 	senders  []*Sender
 	ticker   *sim.Ticker
 	running  bool
+	// rateOverride, when positive, pins every Decision's RateBps — the
+	// control plane's re-parameterization knob (see SetRate).
+	rateOverride int64
 }
 
 // NewController creates a controller for one strategy instance. A zero
@@ -246,6 +258,41 @@ func NewController(strategy Strategy, env *Env) *Controller {
 
 // Strategy returns the driven strategy.
 func (c *Controller) Strategy() Strategy { return c.strategy }
+
+// Running reports whether the controller is currently driving traffic.
+func (c *Controller) Running() bool { return c.running }
+
+// decide routes a strategy decision through the rate override.
+func (c *Controller) decide(d Decision) Decision {
+	if c.rateOverride > 0 {
+		d.RateBps = c.rateOverride
+	}
+	return d
+}
+
+// SetRate overrides the per-sender rate of every future Decision
+// (0 restores the strategy's own rates). While running, each sender's
+// current decision is re-applied immediately, so the new rate takes
+// effect at the call instant rather than the next tick. Call only at a
+// scenario control point (no event executing).
+func (c *Controller) SetRate(bps int64) {
+	if bps < 0 {
+		bps = 0
+	}
+	c.rateOverride = bps
+	if !c.running {
+		return
+	}
+	for _, s := range c.senders {
+		d := s.dec
+		if bps > 0 {
+			d.RateBps = bps
+		} else {
+			d = c.strategy.Tick(s)
+		}
+		s.apply(d)
+	}
+}
 
 // Senders returns the controller's senders in add order.
 func (c *Controller) Senders() []*Sender { return c.senders }
@@ -281,7 +328,7 @@ func (c *Controller) Start() {
 		s.Host.Shim = s
 	}
 	for _, s := range c.senders {
-		s.apply(c.strategy.Start(s))
+		s.apply(c.decide(c.strategy.Start(s)))
 	}
 	interval := c.strategy.Interval(c.env)
 	if interval <= 0 {
@@ -289,7 +336,7 @@ func (c *Controller) Start() {
 	}
 	c.ticker = c.env.Eng.Tick(interval, func() {
 		for _, s := range c.senders {
-			s.apply(c.strategy.Tick(s))
+			s.apply(c.decide(c.strategy.Tick(s)))
 		}
 	})
 }

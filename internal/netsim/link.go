@@ -139,6 +139,36 @@ func (l *Link) txDone(p *packet.Packet) {
 // destination replica. Partitioned-run wiring only.
 func (l *Link) SetMailbox(mb *Mailbox) { l.mailbox = mb }
 
+// IsCut reports whether the link hands off into another shard's replica.
+func (l *Link) IsCut() bool { return l.mailbox != nil }
+
+// SetRate changes the link capacity at the current instant. The packet
+// currently serializing (if any) completes at the old rate — its
+// transmit-complete event is already scheduled — and every subsequent
+// transmission serializes at the new rate; tryTransmit reads l.Rate per
+// packet, so no rescheduling is needed. Must be called while no event
+// is executing (a scenario control point), or determinism across shard
+// counts is forfeit. It panics on a non-positive rate.
+func (l *Link) SetRate(bps int64) {
+	if bps <= 0 {
+		panic("netsim: SetRate requires a positive rate")
+	}
+	l.Rate = bps
+}
+
+// SetDelay changes the link propagation delay at the current instant.
+// In-flight packets keep their scheduled arrival; subsequent
+// transmissions propagate under the new delay. On a cut link of a
+// partitioned run the new delay must stay at or above the partition's
+// lookahead — the scenario layer validates this before applying. It
+// panics on a non-positive delay.
+func (l *Link) SetDelay(d sim.Time) {
+	if d <= 0 {
+		panic("netsim: SetDelay requires a positive delay")
+	}
+	l.Delay = d
+}
+
 // scheduleRetry arms (or re-arms) the not-yet-eligible retry timer.
 func (l *Link) scheduleRetry(at sim.Time) {
 	if l.retryArmed && l.retryEv.Time() <= at {

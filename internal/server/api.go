@@ -1,0 +1,139 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	netfence "netfence"
+)
+
+// ControlRequest is the body of POST /jobs/{id}/control.
+type ControlRequest struct {
+	// Mutations apply to the running scenario: instants at or before
+	// the job's simulated clock apply at the next segment boundary (or
+	// immediately at a paused instant); future instants are scheduled
+	// and apply exactly when the clock reaches them.
+	Mutations []MutationSpec `json:"mutations,omitempty"`
+	// Resume releases a job paused at a pause_at_sec instant.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// routes wires the HTTP API.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.statuses())
+	})
+	mux.HandleFunc("GET /jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("DELETE /jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		s.cancelJob(j)
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("GET /jobs/{id}/result", s.withJob(s.handleResult))
+	mux.HandleFunc("POST /jobs/{id}/control", s.withJob(s.handleControl))
+	mux.HandleFunc("GET /jobs/{id}/stream", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		serveStream(w, r, j.hub)
+	}))
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errQueueFull) || errors.Is(err, errServerDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
+	st := j.status()
+	j.mu.Lock()
+	result, results := j.result, j.results
+	j.mu.Unlock()
+	switch jobState(st.State) {
+	case jobQueued, jobRunning, jobPaused:
+		writeError(w, http.StatusConflict, errors.New("job has not finished; poll status or stream"))
+	case jobFailed:
+		writeJSON(w, http.StatusOK, map[string]any{"status": st, "error": st.Error})
+	default: // done, or cancelled with partial results
+		body := map[string]any{"status": st}
+		if result != nil {
+			body["result"] = result
+		}
+		if results != nil {
+			body["results"] = results
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+func (s *Server) handleControl(w http.ResponseWriter, r *http.Request, j *job) {
+	if j.kind() != "scenario" {
+		writeError(w, http.StatusBadRequest, errors.New("control applies to scenario jobs only"))
+		return
+	}
+	var req ControlRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Structural validation is synchronous (a malformed mutation fails
+	// the POST); referential validation against the built topology
+	// happens on the runner and is acknowledged on the stream.
+	ms := make([]netfence.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		ms[i] = m.Mutation()
+		if err := ms[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := j.control(ms, req.Resume); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(ms), "resume": req.Resume})
+}
+
+// withJob resolves the {id} path value or answers 404.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.job(r.PathValue("id"))
+		if j == nil {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	netfence "netfence"
+)
+
+// jobState is the lifecycle of a job: queued → running (⇄ paused for
+// scenario jobs) → done | failed | cancelled.
+type jobState string
+
+const (
+	jobQueued    jobState = "queued"
+	jobRunning   jobState = "running"
+	jobPaused    jobState = "paused"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+// controlMsg carries a POST /jobs/{id}/control body to the runner.
+type controlMsg struct {
+	mutations []netfence.Mutation
+	resume    bool
+}
+
+// JobStatus is the JSON status of a job (GET /jobs and /jobs/{id}).
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// NowSec is the scenario job's simulated clock at the last segment
+	// boundary.
+	NowSec float64 `json:"now_sec,omitempty"`
+	// Done, Total and Cell report sweep progress.
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Cell  string `json:"cell,omitempty"`
+}
+
+// controlAck is streamed on the job's SSE channel when a control
+// message is applied (or rejected by the instance).
+type controlAck struct {
+	Applied int    `json:"applied"`
+	Pending int    `json:"pending"`
+	Error   string `json:"error,omitempty"`
+	Resume  bool   `json:"resume,omitempty"`
+}
+
+// job is one queued or running submission.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu      sync.Mutex
+	state   jobState
+	errMsg  string
+	nowSec  float64
+	done    int
+	total   int
+	cell    string
+	result  *netfence.Result
+	results []*netfence.Result
+
+	hub      *hub
+	ctl      chan controlMsg
+	cancel   context.CancelFunc
+	finished chan struct{}
+}
+
+func newJob(id string, spec JobSpec) *job {
+	return &job{
+		id:       id,
+		spec:     spec,
+		state:    jobQueued,
+		hub:      newHub(),
+		ctl:      make(chan controlMsg, 16),
+		finished: make(chan struct{}),
+	}
+}
+
+func (j *job) kind() string {
+	if j.spec.Scenario != nil {
+		return "scenario"
+	}
+	return "sweep"
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Kind: j.kind(), State: string(j.state), Error: j.errMsg,
+		NowSec: j.nowSec, Done: j.done, Total: j.total, Cell: j.cell,
+	}
+}
+
+func (j *job) setState(s jobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+	j.hub.publish("status", j.status())
+}
+
+// control hands a control message to the runner. It blocks until the
+// runner's next boundary when the control buffer is full, and fails
+// once the job has finished.
+func (j *job) control(ms []netfence.Mutation, resume bool) error {
+	select {
+	case j.ctl <- controlMsg{mutations: ms, resume: resume}:
+		return nil
+	case <-j.finished:
+		return errors.New("job is no longer running")
+	}
+}
+
+// run executes the job to completion and settles its terminal state.
+// Called on a worker goroutine; ctx is the job's own cancellable
+// context (cancelled by DELETE or server shutdown deadline).
+func (j *job) run(ctx context.Context) {
+	defer close(j.finished)
+	defer j.hub.close()
+	j.setState(jobRunning)
+
+	var err error
+	if j.spec.Scenario != nil {
+		err = j.runScenario(ctx)
+	} else {
+		err = j.runSweep(ctx)
+	}
+
+	j.mu.Lock()
+	switch {
+	case ctx.Err() != nil:
+		j.state = jobCancelled
+		if err != nil && !errors.Is(err, context.Canceled) {
+			j.errMsg = err.Error()
+		}
+	case err != nil:
+		j.state = jobFailed
+		j.errMsg = err.Error()
+	default:
+		j.state = jobDone
+	}
+	result, results := j.result, j.results
+	j.mu.Unlock()
+
+	if result != nil {
+		j.hub.publish("result", result)
+	} else if results != nil {
+		j.hub.publish("result", results)
+	}
+	j.hub.publish("status", j.status())
+}
+
+// runScenario drives a scenario job in segments. Each segment advances
+// to the earliest of now+step, the next scripted mutation, the next
+// pending live mutation, the next pause instant, and the duration;
+// at the boundary it applies due mutations, flushes new timeseries
+// samples to the stream, and polls the control queue. Pauses block on
+// the control queue until a resume arrives, so mutations posted while
+// paused apply at exactly the held instant — which is what makes a
+// live-steered run reproducible against a scripted timeline.
+func (j *job) runScenario(ctx context.Context) error {
+	sc, err := j.spec.Scenario.Scenario()
+	if err != nil {
+		return err
+	}
+	in, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	defer in.Stop()
+
+	step := secs(j.spec.StreamIntervalSec)
+	if step <= 0 {
+		step = netfence.Second
+	}
+	scripted := in.Timeline() // sorted; applied here, not by Run
+	pauses := make([]netfence.Time, 0, len(j.spec.PauseAtSec))
+	for _, p := range j.spec.PauseAtSec {
+		if t := secs(p); t > 0 && t <= sc.Duration {
+			pauses = append(pauses, t)
+		}
+	}
+	sort.Slice(pauses, func(a, b int) bool { return pauses[a] < pauses[b] })
+
+	var pending []netfence.Mutation // live mutations scheduled ahead
+	emitted := 0                    // samples already streamed
+	next, pi := 0, 0
+	now := netfence.Time(0)
+
+	flush := func() {
+		series := in.Series()
+		for ; emitted < len(series); emitted++ {
+			j.hub.publish("sample", series[emitted])
+		}
+		j.mu.Lock()
+		j.nowSec = float64(now) / float64(netfence.Second)
+		j.mu.Unlock()
+	}
+	// absorb applies a control message: mutations at or before the
+	// current instant apply here and now, later ones join the pending
+	// schedule.
+	absorb := func(msg controlMsg) {
+		ack := controlAck{Resume: msg.resume}
+		var due []netfence.Mutation
+		for _, m := range msg.mutations {
+			if m.At <= now {
+				due = append(due, m)
+			} else {
+				pending = append(pending, m)
+			}
+		}
+		sort.SliceStable(pending, func(a, b int) bool { return pending[a].At < pending[b].At })
+		if len(due) > 0 {
+			if err := in.Apply(due...); err != nil {
+				ack.Error = err.Error()
+			} else {
+				ack.Applied = len(due)
+			}
+		}
+		ack.Pending = len(pending)
+		j.hub.publish("control", ack)
+	}
+
+	for now < sc.Duration {
+		t := now + step
+		if t > sc.Duration {
+			t = sc.Duration
+		}
+		if next < len(scripted) && scripted[next].At < t {
+			t = scripted[next].At
+		}
+		if len(pending) > 0 && pending[0].At < t {
+			t = pending[0].At
+		}
+		if pi < len(pauses) && pauses[pi] < t {
+			t = pauses[pi]
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in.Advance(t)
+		now = t
+
+		// Scripted mutations due at this instant, grouped as Run groups
+		// them, then live ones scheduled for exactly this instant.
+		for next < len(scripted) && scripted[next].At == now {
+			g := next + 1
+			for g < len(scripted) && scripted[g].At == now {
+				g++
+			}
+			if err := in.Apply(scripted[next:g]...); err != nil {
+				return fmt.Errorf("timeline at %.3fs: %w", float64(now)/float64(netfence.Second), err)
+			}
+			next = g
+		}
+		for len(pending) > 0 && pending[0].At <= now {
+			m := pending[0]
+			pending = pending[1:]
+			if err := in.Apply(m); err != nil {
+				j.hub.publish("control", controlAck{Error: err.Error(), Pending: len(pending)})
+			}
+		}
+		flush()
+
+		if pi < len(pauses) && pauses[pi] == now {
+			pi++
+			j.setState(jobPaused)
+			for resumed := false; !resumed; {
+				select {
+				case msg := <-j.ctl:
+					absorb(msg)
+					resumed = msg.resume
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			j.setState(jobRunning)
+		} else {
+			for drained := false; !drained; {
+				select {
+				case msg := <-j.ctl:
+					absorb(msg)
+				default:
+					drained = true
+				}
+			}
+		}
+	}
+
+	res := in.Finish()
+	flush()
+	j.mu.Lock()
+	j.result = res
+	j.mu.Unlock()
+	return nil
+}
+
+// runSweep drives a sweep job through the batch engine, mirroring
+// per-cell progress onto the job status and the stream. A cancelled
+// sweep keeps its completed cells (nil marks unfinished ones).
+func (j *job) runSweep(ctx context.Context) error {
+	sw, err := j.spec.Sweep.Sweep()
+	if err != nil {
+		return err
+	}
+	sw.Progress = func(done, total int, cell string) {
+		j.mu.Lock()
+		j.done, j.total, j.cell = done, total, cell
+		j.mu.Unlock()
+		j.hub.publish("status", j.status())
+	}
+	results, err := sw.RunContext(ctx)
+	j.mu.Lock()
+	j.results = results
+	j.mu.Unlock()
+	return err
+}

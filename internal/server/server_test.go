@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	netfence "netfence"
+)
+
+// smokeSpec is the e2e scenario: a small dumbbell mix whose bottleneck
+// is degraded mid-run by a scripted timeline mutation.
+func smokeSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Name: "smoke",
+		Seed: 7,
+		Topology: TopologySpec{
+			Kind: "dumbbell", Senders: 8, BottleneckBps: 1_000_000, ColluderASes: 1,
+		},
+		Workloads: []WorkloadSpec{
+			{Kind: "longtcp", From: 0, To: 4},
+			{Kind: "attack", From: 4, To: 8},
+		},
+		DurationSec:           8,
+		WarmupSec:             2,
+		TimeseriesIntervalSec: 1,
+		Timeline: []MutationSpec{
+			{AtSec: 4, Link: &LinkMutationSpec{Bottleneck: 0, RateBps: 500_000}},
+		},
+	}
+}
+
+// batchResult runs a spec through the batch engine — the byte-equality
+// baseline every served run is held to.
+func batchResult(t *testing.T, spec ScenarioSpec) []byte {
+	t.Helper()
+	sc, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(in.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Addr: "127.0.0.1:0", Workers: 1, QueueDepth: 4})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitState polls a job's status endpoint until it reaches want.
+func waitState(t *testing.T, base, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, base+"/jobs/"+id, &st)
+		if st.State == want {
+			return st
+		}
+		if st.State == string(jobFailed) {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+	return JobStatus{}
+}
+
+type sseEvent struct {
+	typ  string
+	data []byte
+}
+
+// readStream consumes a job's SSE stream to the end.
+func readStream(t *testing.T, url string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	var events []sseEvent
+	var typ string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events = append(events, sseEvent{typ: typ, data: []byte(strings.TrimPrefix(line, "data: "))})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestServeE2ESmoke is the service's end-to-end gate (run in CI with
+// -race): submit a dumbbell job with a mid-run link degradation,
+// stream its SSE feed to completion, and hold the streamed result
+// byte-identical to the batch run of the same spec.
+func TestServeE2ESmoke(t *testing.T) {
+	s := startServer(t)
+	base := "http://" + s.Addr()
+
+	if code := getJSON(t, base+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	spec := smokeSpec()
+	code, body := postJSON(t, base+"/jobs", JobSpec{Scenario: &spec, StreamIntervalSec: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream replays from the start and ends with the result.
+	events := readStream(t, base+"/jobs/"+st.ID+"/stream")
+	var samples int
+	var streamed []byte
+	for _, ev := range events {
+		switch ev.typ {
+		case "sample":
+			samples++
+		case "result":
+			streamed = ev.data
+		}
+	}
+	if samples == 0 {
+		t.Fatal("stream carried no timeseries samples")
+	}
+	if streamed == nil {
+		t.Fatal("stream ended without a result event")
+	}
+
+	// The result endpoint agrees with the stream, and both match the
+	// batch engine byte for byte.
+	var res struct {
+		Status JobStatus       `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if code := getJSON(t, base+"/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	if res.Status.State != string(jobDone) {
+		t.Fatalf("final state = %s (%s)", res.Status.State, res.Status.Error)
+	}
+	want := batchResult(t, spec)
+	if !bytes.Equal(bytes.TrimSpace(res.Result), bytes.TrimSpace(want)) {
+		t.Errorf("served result differs from batch run:\nserved: %s\nbatch:  %s", res.Result, want)
+	}
+	if !bytes.Equal(bytes.TrimSpace(streamed), bytes.TrimSpace(want)) {
+		t.Errorf("streamed result differs from batch run")
+	}
+
+	// The streamed samples are exactly the result's series.
+	var full netfence.Result
+	if err := json.Unmarshal(res.Result, &full); err != nil {
+		t.Fatal(err)
+	}
+	if samples != len(full.Series) {
+		t.Errorf("streamed %d samples, result has %d", samples, len(full.Series))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestLiveControlMatchesScriptedTimeline is the control plane's
+// determinism contract over HTTP: pausing a sharded run at scripted
+// instants and POSTing the mutations live produces a result
+// byte-identical to the same mutations scripted as a Timeline in a
+// batch run.
+func TestLiveControlMatchesScriptedTimeline(t *testing.T) {
+	scripted := smokeSpec()
+	scripted.Name = "live"
+	scripted.Shards = 2
+	scripted.Timeline = []MutationSpec{
+		{AtSec: 3, Link: &LinkMutationSpec{Bottleneck: 0, RateBps: 400_000}},
+		{AtSec: 5, Attack: &AttackMutationSpec{Workload: 0, Action: "stop"}},
+		{AtSec: 6, Link: &LinkMutationSpec{Bottleneck: 0, Restore: true}},
+	}
+	want := batchResult(t, scripted)
+
+	live := scripted
+	live.Timeline = nil
+	s := startServer(t)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	code, body := postJSON(t, base+"/jobs", JobSpec{
+		Scenario:          &live,
+		StreamIntervalSec: 1,
+		PauseAtSec:        []float64{3, 5, 6},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// At each pause, deliver the scripted instant's mutations over the
+	// control endpoint and resume.
+	for _, m := range scripted.Timeline {
+		ps := waitState(t, base, st.ID, string(jobPaused))
+		if ps.NowSec != m.AtSec {
+			t.Fatalf("paused at %.3fs, want %.3fs", ps.NowSec, m.AtSec)
+		}
+		code, body := postJSON(t, base+"/jobs/"+st.ID+"/control", ControlRequest{
+			Mutations: []MutationSpec{m},
+			Resume:    true,
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("control at %.0fs = %d: %s", m.AtSec, code, body)
+		}
+	}
+
+	waitState(t, base, st.ID, string(jobDone))
+	var res struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if code := getJSON(t, base+"/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	if !bytes.Equal(bytes.TrimSpace(res.Result), bytes.TrimSpace(want)) {
+		t.Errorf("live-controlled result differs from scripted batch run:\nlive:     %s\nscripted: %s", res.Result, want)
+	}
+}
+
+// TestSweepJob submits a sweep, watches progress land in the status,
+// and reads the per-cell results.
+func TestSweepJob(t *testing.T) {
+	s := startServer(t)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	spec := smokeSpec()
+	spec.Timeline = nil
+	code, body := postJSON(t, base+"/jobs", JobSpec{
+		Sweep: &SweepSpec{
+			Base:  spec,
+			Seeds: []uint64{1, 2},
+			Timelines: []NamedTimelineSpec{
+				{Name: "static"},
+				{Name: "degrade", Timeline: []MutationSpec{
+					{AtSec: 4, Link: &LinkMutationSpec{Bottleneck: 0, RateBps: 500_000}},
+				}},
+			},
+		},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, base, st.ID, string(jobDone))
+	if fin.Done != 4 || fin.Total != 4 {
+		t.Errorf("progress = %d/%d, want 4/4", fin.Done, fin.Total)
+	}
+	var res struct {
+		Results []*netfence.Result `json:"results"`
+	}
+	getJSON(t, base+"/jobs/"+st.ID+"/result", &res)
+	if len(res.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(res.Results))
+	}
+	for i, r := range res.Results {
+		if r == nil {
+			t.Errorf("cell %d missing", i)
+		}
+	}
+}
+
+// TestSubmitValidation exercises the synchronous rejection surface.
+func TestSubmitValidation(t *testing.T) {
+	s := startServer(t)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	good := smokeSpec()
+	cases := []struct {
+		name string
+		spec JobSpec
+		code int
+		want string
+	}{
+		{"neither", JobSpec{}, http.StatusBadRequest, "exactly one"},
+		{"bad-topology", JobSpec{Scenario: &ScenarioSpec{Topology: TopologySpec{Kind: "torus"}}}, http.StatusBadRequest, "unknown kind"},
+		{"bad-workload", JobSpec{Scenario: &ScenarioSpec{
+			Topology:  good.Topology,
+			Workloads: []WorkloadSpec{{Kind: "teleport"}},
+		}}, http.StatusBadRequest, "unknown kind"},
+		{"bad-mutation", JobSpec{Scenario: &ScenarioSpec{
+			Topology:  good.Topology,
+			Workloads: good.Workloads,
+			Timeline:  []MutationSpec{{AtSec: 1}},
+		}}, http.StatusBadRequest, "exactly one"},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, base+"/jobs", tc.spec)
+		if code != tc.code || !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s: code=%d body=%s, want %d containing %q", tc.name, code, body, tc.code, tc.want)
+		}
+	}
+
+	if code := getJSON(t, base+"/jobs/j999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d", code)
+	}
+}
+
+// TestShutdownDrain covers the graceful path (an in-flight job runs to
+// completion under Shutdown) and the deadline path (a long job is
+// aborted at a segment boundary with its partial state kept).
+func TestShutdownDrain(t *testing.T) {
+	// Deadline path: a long-running job is aborted.
+	s := startServer(t)
+	base := "http://" + s.Addr()
+	long := smokeSpec()
+	long.Name = "long"
+	long.DurationSec = 3600
+	long.Timeline = nil
+	_, body := postJSON(t, base+"/jobs", JobSpec{Scenario: &long})
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, base, st.ID, string(jobRunning))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("deadline shutdown err = %v", err)
+	}
+	if got := s.job(st.ID).status(); got.State != string(jobCancelled) {
+		t.Errorf("long job state = %s, want cancelled", got.State)
+	}
+
+	// A fresh server refuses submissions once draining.
+	s2 := startServer(t)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := s2.Shutdown(ctx2); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+	if _, err := s2.submit(JobSpec{Scenario: &long}); err == nil {
+		t.Error("submit after shutdown succeeded")
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// event is one server-sent event on a job's stream: "sample" (a
+// timeseries point), "status" (a state or progress change), or
+// "result" (the final result, last event before the stream closes).
+type event struct {
+	Type string
+	Data any
+}
+
+// hub fans a job's events out to its SSE subscribers. Every event is
+// also kept in order, so a late subscriber replays the full history
+// before receiving live events — the stream is a deterministic record
+// of the run, not a lossy tail.
+type hub struct {
+	mu     sync.Mutex
+	events []event
+	subs   map[chan event]bool
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: map[chan event]bool{}}
+}
+
+// publish appends an event and delivers it to every live subscriber.
+// Delivery blocks until each subscriber's writer accepts it (writers
+// drain promptly; a disconnected client's writer unsubscribes), so
+// subscribers never observe gaps.
+func (h *hub) publish(typ string, data any) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.events = append(h.events, event{Type: typ, Data: data})
+	subs := make([]chan event, 0, len(h.subs))
+	for ch := range h.subs {
+		subs = append(subs, ch)
+	}
+	h.mu.Unlock()
+	for _, ch := range subs {
+		ch <- event{Type: typ, Data: data}
+	}
+}
+
+// close ends the stream: subscribers' channels are closed after the
+// history they have not yet consumed.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}
+
+// subscribe returns the event history so far and a channel of
+// subsequent events (nil when the stream has already closed —
+// the history is complete).
+func (h *hub) subscribe() ([]event, chan event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	history := make([]event, len(h.events))
+	copy(history, h.events)
+	if h.closed {
+		return history, nil
+	}
+	ch := make(chan event, 64)
+	h.subs[ch] = true
+	return history, ch
+}
+
+func (h *hub) unsubscribe(ch chan event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs[ch] {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// writeSSE writes one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev event) error {
+	raw, err := json.Marshal(ev.Data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, raw)
+	return err
+}
+
+// serveStream streams a job's events to one client: history first,
+// then live events until the stream closes or the client goes away.
+func serveStream(w http.ResponseWriter, r *http.Request, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, live := h.subscribe()
+	if live != nil {
+		defer h.unsubscribe(live)
+	}
+	for _, ev := range history {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -142,6 +142,37 @@ func (c *Coordinator) RunUntil(t Time) {
 		c.windows++
 		c.now = end
 	}
+	c.settle(t)
+}
+
+// RunBefore advances every shard to exactly t WITHOUT executing the
+// events scheduled at t itself: the window loop of RunUntil with no
+// settle phase. It is the control-point step of a segmented run — after
+// it returns, every event strictly before t has executed on every
+// shard and no event at or after t has, so scenario mutations applied
+// now land after all pre-t effects and before every time-t event, on
+// every shard, exactly as on a single engine. Handoffs landing exactly
+// at t are delivered by the first drain of the next RunBefore/RunUntil
+// call, still ahead of the time-t batch.
+func (c *Coordinator) RunBefore(t Time) {
+	if c.stopped {
+		panic("sim: RunBefore on a stopped coordinator")
+	}
+	c.start()
+	for c.now < t {
+		end := c.now + c.lookahead
+		if end > t {
+			end = t
+		}
+		c.round(func(i int) { c.doDrain(i, end) })
+		c.round(func(i int) { c.engines[i].RunBefore(end) })
+		c.windows++
+		c.now = end
+	}
+}
+
+// settle executes the time-t batch at the end of a run.
+func (c *Coordinator) settle(t Time) {
 	// The final instant: handoffs transmitted in the last window can
 	// land exactly at t; deliver them first, then execute the time-t
 	// batch, pedigree-interleaved like any other instant. Handoffs

@@ -607,6 +607,19 @@ func (e *Engine) SetShardTag(shard int) {
 	e.pedigreed = true
 }
 
+// ResetPedigree zeroes the executing-event pedigree. Call it before
+// scheduling events from OUTSIDE any event callback at a control point
+// of a segmented run: without the reset, a sharded engine would stamp
+// the ancestry of whatever event happened to execute last onto the new
+// events — ancestry that differs per shard count — while the single
+// engine (which never maintains deep pedigrees) stamps none. Zeroed
+// ancestry on every path keeps control-point scheduling byte-identical
+// across shard counts. No-op mid-callback semantics are not supported:
+// the caller must be between Run calls.
+func (e *Engine) ResetPedigree() {
+	e.curPed = [PedigreeDepth]pedEntry{}
+}
+
 // EnableKeyStreams switches the engine into sharded key-material mode:
 // KeyStream returns per-consumer deterministic RNGs derived from base,
 // so every shard replica of one logical consumer (an access router's

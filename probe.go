@@ -384,12 +384,23 @@ func (p TimeseriesProbe) installSharded(env *scenarioEnv, interval Time) error {
 }
 
 func (TimeseriesProbe) finish(env *scenarioEnv, res *Result) {
+	res.Series = env.mergedSeries()
+}
+
+// mergedSeries returns the timeseries collected so far. On the single
+// engine that is the accumulated sample slice; on a sharded run the
+// per-shard buckets are merged in global meter order — the
+// single-engine accumulation order, so the samples come out
+// bit-identical. The merge is built fresh each call (not appended onto
+// prior state) so repeat collection — a second Instance.Run, or the
+// serve mode streaming at every segment boundary — returns a
+// consistent snapshot instead of duplicates. Sharded merges are only
+// coherent at a window barrier (a control point or the finished run),
+// where every shard has ticked the same instants.
+func (env *scenarioEnv) mergedSeries() []Sample {
 	if env.sh == nil {
-		res.Series = env.series
-		return
+		return env.series
 	}
-	// Built fresh each call (not appended onto env.series) so a repeat
-	// Instance.Run returns the same samples instead of duplicates.
 	series := make([]Sample, 0, len(env.tickTimes))
 	for k, tsec := range env.tickTimes {
 		s := Sample{TimeSec: tsec}
@@ -408,6 +419,5 @@ func (TimeseriesProbe) finish(env *scenarioEnv, res *Result) {
 		}
 		series = append(series, s)
 	}
-	env.series = series
-	res.Series = series
+	return series
 }

@@ -6,6 +6,7 @@ import (
 
 	// The baselines self-register in the defense registry; scenarios
 	// resolve them by name, so link them in explicitly.
+	"netfence/internal/attack"
 	_ "netfence/internal/baseline"
 	"netfence/internal/core"
 	"netfence/internal/defense"
@@ -13,6 +14,7 @@ import (
 	"netfence/internal/netsim"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
+	"netfence/internal/topo"
 	"netfence/internal/transport"
 )
 
@@ -72,6 +74,12 @@ type Scenario struct {
 	// topology's AS count; an explicit count exceeding the AS count
 	// fails fast instead of clamping.
 	Shards int
+	// Timeline declares scheduled mid-run control-plane changes — link
+	// degradations and restorations, attack toggles and
+	// re-parameterizations, deployment-plan changes — applied at their
+	// instants between event batches, deterministically on every shard
+	// count. See Mutation. An empty Timeline is the classic static run.
+	Timeline []Mutation
 }
 
 // DefenseSpec selects a defense system from the registry.
@@ -146,6 +154,22 @@ type scenarioEnv struct {
 	// attacks lists the canonical strategy names of the scenario's
 	// AttackSpec workloads, in attachment order, for Result.Attack.
 	attacks []string
+
+	// attackCtrls holds each AttackSpec workload's controllers in
+	// workload declaration order — one controller per shard owning attack
+	// senders (a single entry on the single engine). The control plane's
+	// attack mutations drive them.
+	attackCtrls [][]*attack.Controller
+
+	// Control-plane state for timeline and live mutations (primeControl):
+	// the bottlenecks' build-time parameters (the Restore target), the
+	// active deployment plan, per-replica deployment arm/disarm state, and
+	// the victim deny policy (re-used when a deploy mutation arms a victim
+	// host for the first time).
+	linkOrig  []linkParams
+	plan      topo.Plan
+	deployCtl []*replicaDeploy
+	deny      defense.Policy
 
 	// deployed is the effective deployed fraction of source ASes.
 	deployed float64
@@ -344,6 +368,11 @@ type Instance struct {
 
 	env    *scenarioEnv
 	probes []Probe
+	// timeline is the scenario Timeline, validated and sorted by instant.
+	timeline []Mutation
+	// finished flags a completed (or stopped) run: the coordinator's
+	// workers are torn down and the instance can only be collected.
+	finished bool
 }
 
 // Build validates the scenario and constructs everything — engine,
@@ -365,17 +394,28 @@ func (s Scenario) Build() (*Instance, error) {
 	if s.Defense.Name == "" {
 		s.Defense.Name = "netfence"
 	}
+	var (
+		in  *Instance
+		err error
+	)
 	switch {
 	case s.Shards == AutoShards:
-		return s.buildSharded(AutoShards)
+		in, err = s.buildSharded(AutoShards)
 	case s.Shards < 0 || s.Shards == 0 || s.Shards == 1:
 		if s.Shards < 0 {
 			return nil, fmt.Errorf("scenario %q: Shards must be positive or AutoShards, got %d", s.Name, s.Shards)
 		}
-		return s.buildSingle()
+		in, err = s.buildSingle()
 	default:
-		return s.buildSharded(s.Shards)
+		in, err = s.buildSharded(s.Shards)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if err := in.primeControl(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return in, nil
 }
 
 // buildSingle is the classic single-engine construction — the exact
@@ -416,6 +456,7 @@ func (s Scenario) buildSingle() (*Instance, error) {
 	if s.DenyAttackers {
 		deny.Deny = func(src packet.NodeID) bool { return env.denySet[src] }
 	}
+	env.deny = deny
 	bt.graph.Deploy(system, deny, plan)
 
 	if cs, ok := system.(*core.System); ok && len(bt.bottlenecks) > 0 {
@@ -453,25 +494,33 @@ func (s Scenario) buildSingle() (*Instance, error) {
 	}, nil
 }
 
-// Run drives the built scenario to its Duration, stops the workloads,
-// and collects every probe into the Result. Calling Run again returns
-// a freshly collected Result without re-driving the simulation, on the
-// sharded path as on the single engine.
+// Run drives the built scenario to its Duration — applying the
+// scenario Timeline's mutations at their instants, between event
+// batches — stops the workloads, and collects every probe into the
+// Result. Calling Run again returns a freshly collected Result without
+// re-driving the simulation, on the sharded path as on the single
+// engine.
 func (in *Instance) Run() *Result {
-	if sh := in.env.sh; sh != nil {
-		// The coordinator's workers are torn down after the run; skip
-		// the (no-op) advance on a repeat call so Run stays callable
-		// instead of panicking on the stopped coordinator.
-		if sh.coord.Now() < in.Scenario.Duration {
-			sh.coord.RunUntil(in.Scenario.Duration)
-			sh.coord.Stop()
+	if !in.finished {
+		// Apply the validated timeline in instant groups: advance to
+		// each instant's control point, apply that instant's mutations
+		// in declaration order, continue. Serve-mode jobs interleave the
+		// same Advance/Apply calls with live mutations instead.
+		for i := 0; i < len(in.timeline); {
+			j := i + 1
+			for j < len(in.timeline) && in.timeline[j].At == in.timeline[i].At {
+				j++
+			}
+			in.Advance(in.timeline[i].At)
+			in.applyNow(in.timeline[i:j])
+			i = j
 		}
-	} else {
-		in.Eng.RunUntil(in.Scenario.Duration)
 	}
-	for _, st := range in.env.stoppers {
-		st.Stop()
-	}
+	return in.Finish()
+}
+
+// collect assembles the Result from the probes' current state.
+func (in *Instance) collect() *Result {
 	res := &Result{
 		Scenario:    in.Scenario.Name,
 		Defense:     in.System.Name(),

@@ -177,6 +177,7 @@ func (s Scenario) buildSharded(shards int) (*Instance, error) {
 	if s.DenyAttackers {
 		deny.Deny = func(src packet.NodeID) bool { return env.denySet[src] }
 	}
+	env.deny = deny
 	for i := 0; i < shards; i++ {
 		sys, err := defense.Build(s.Defense.Name, st.replicas[i].net, defense.BuildOptions{Config: s.Defense.Config})
 		if err != nil {

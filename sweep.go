@@ -1,6 +1,7 @@
 package netfence
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -50,6 +51,11 @@ type Sweep struct {
 	// Base or BaseFor) at that strategy (nil = keep the workloads'
 	// declared strategies). The adaptive-adversary axis of §6.3.
 	Attacks []string
+	// Timelines lists named mutation timelines to sweep: each cell runs
+	// the scenario under that Timeline (nil = just Base's Timeline). The
+	// time-varying-conditions axis — e.g. the same attack under a static
+	// bottleneck, a mid-run degradation, and a mid-run deployment change.
+	Timelines []NamedTimeline
 	// Seeds lists RNG seeds to sweep (nil = just Base's).
 	Seeds []uint64
 	// Shards lists per-scenario shard counts to sweep (nil = just
@@ -64,6 +70,19 @@ type Sweep struct {
 	// barriers. Set it explicitly to override the budget with a plain
 	// worker cap.
 	Parallelism int
+	// Progress, when set, is called after each cell completes (or fails)
+	// with the number of finished cells, the matrix total, and the cell's
+	// name. Calls are serialized; done reaches total when the sweep ends.
+	// The serve mode's job status and the CLI's -progress flag hang off
+	// this hook.
+	Progress func(done, total int, cell string)
+}
+
+// NamedTimeline is one entry of the Sweep's timeline axis: a scenario
+// Timeline with the name its cells carry (`/timeline=<name>`).
+type NamedTimeline struct {
+	Name     string
+	Timeline []Mutation
 }
 
 // Scenarios expands the matrix in its deterministic order:
@@ -100,6 +119,11 @@ func (sw Sweep) Scenarios() []Scenario {
 	if !sweepAttack {
 		attacks = []string{""}
 	}
+	timelines := sw.Timelines
+	sweepTimeline := len(timelines) > 0
+	if !sweepTimeline {
+		timelines = []NamedTimeline{{}} // keep Base's Timeline
+	}
 	seeds := sw.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{sw.Base.Seed}
@@ -123,58 +147,65 @@ func (sw Sweep) Scenarios() []Scenario {
 		for _, pop := range pops {
 			for _, dep := range deploys {
 				for _, atk := range attacks {
-					for _, seed := range seeds {
-						for _, nsh := range shardsAxis {
-							sc := sw.Base
-							if pop > 0 {
-								if sw.BaseFor != nil {
-									sc = sw.BaseFor(pop)
-								} else if sc.Topology != nil {
-									sc.Topology = sc.Topology.withPopulation(pop)
+					for _, tl := range timelines {
+						for _, seed := range seeds {
+							for _, nsh := range shardsAxis {
+								sc := sw.Base
+								if pop > 0 {
+									if sw.BaseFor != nil {
+										sc = sw.BaseFor(pop)
+									} else if sc.Topology != nil {
+										sc.Topology = sc.Topology.withPopulation(pop)
+									}
 								}
-							}
-							// A system-specific config only survives onto its own
-							// system; other cells fall back to defaults. The cell's
-							// scenario (Base or BaseFor's output) owns the config.
-							cellDefense := defense.Canonical(sc.Defense.Name)
-							if cellDefense == "" {
-								cellDefense = baseDefense
-							}
-							cellConfig := sc.Defense.Config
-							if cellConfig == nil && cellDefense == baseDefense {
-								cellConfig = sw.Base.Defense.Config
-							}
-							sc.Defense = DefenseSpec{Name: d}
-							if defense.Canonical(d) == cellDefense {
-								sc.Defense.Config = cellConfig
-							}
-							sc.Seed = seed
-							// A registry-resolved spec on its builder default has
-							// no declared population; omit the segment rather
-							// than reporting a misleading n=0.
-							popSeg := ""
-							if sc.Topology != nil {
-								if n := sc.Topology.population(); n > 0 {
-									popSeg = fmt.Sprintf("/n=%d", n)
+								// A system-specific config only survives onto its own
+								// system; other cells fall back to defaults. The cell's
+								// scenario (Base or BaseFor's output) owns the config.
+								cellDefense := defense.Canonical(sc.Defense.Name)
+								if cellDefense == "" {
+									cellDefense = baseDefense
 								}
+								cellConfig := sc.Defense.Config
+								if cellConfig == nil && cellDefense == baseDefense {
+									cellConfig = sw.Base.Defense.Config
+								}
+								sc.Defense = DefenseSpec{Name: d}
+								if defense.Canonical(d) == cellDefense {
+									sc.Defense.Config = cellConfig
+								}
+								sc.Seed = seed
+								// A registry-resolved spec on its builder default has
+								// no declared population; omit the segment rather
+								// than reporting a misleading n=0.
+								popSeg := ""
+								if sc.Topology != nil {
+									if n := sc.Topology.population(); n > 0 {
+										popSeg = fmt.Sprintf("/n=%d", n)
+									}
+								}
+								deploySeg := ""
+								if sweepDeploy {
+									sc.Deployment = DeployFraction(dep)
+									deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
+								}
+								attackSeg := ""
+								if sweepAttack {
+									sc.Workloads = retargetAttacks(sc.Workloads, atk)
+									attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
+								}
+								timelineSeg := ""
+								if sweepTimeline {
+									sc.Timeline = tl.Timeline
+									timelineSeg = fmt.Sprintf("/timeline=%s", tl.Name)
+								}
+								shardSeg := ""
+								if sweepShards {
+									sc.Shards = nsh
+									shardSeg = fmt.Sprintf("/shards=%d", nsh)
+								}
+								sc.Name = fmt.Sprintf("%s/%s%s%s%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, attackSeg, timelineSeg, shardSeg, seed)
+								out = append(out, sc)
 							}
-							deploySeg := ""
-							if sweepDeploy {
-								sc.Deployment = DeployFraction(dep)
-								deploySeg = fmt.Sprintf("/deploy=%.2f", dep)
-							}
-							attackSeg := ""
-							if sweepAttack {
-								sc.Workloads = retargetAttacks(sc.Workloads, atk)
-								attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
-							}
-							shardSeg := ""
-							if sweepShards {
-								sc.Shards = nsh
-								shardSeg = fmt.Sprintf("/shards=%d", nsh)
-							}
-							sc.Name = fmt.Sprintf("%s/%s%s%s%s%s/seed=%d", baseName, defense.Canonical(d), popSeg, deploySeg, attackSeg, shardSeg, seed)
-							out = append(out, sc)
 						}
 					}
 				}
@@ -214,6 +245,16 @@ func retargetAttacks(ws []Workload, strategy string) []Workload {
 // cell leaves a nil slot; the error joins every failure alongside the
 // completed cells' results.
 func (sw Sweep) Run() ([]*Result, error) {
+	return sw.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: when ctx is cancelled, in-flight
+// cells run to completion (a discrete-event engine has no safe
+// mid-window abort), remaining cells are skipped with nil slots, and
+// the joined error includes ctx's error — so an interrupted sweep
+// still returns every completed cell's result, the checkpoint the CLI
+// flushes on SIGINT.
+func (sw Sweep) RunContext(ctx context.Context) ([]*Result, error) {
 	if sw.BaseFor != nil && len(sw.Populations) == 0 && sw.Base.Topology == nil {
 		return nil, errors.New("netfence: Sweep.BaseFor needs Populations (or a Base topology to take the population from)")
 	}
@@ -238,7 +279,28 @@ func (sw Sweep) Run() ([]*Result, error) {
 	if err := sw.checkAttacks(); err != nil {
 		return nil, err
 	}
-	return runParallel(sw.Scenarios(), sw.Parallelism)
+	for i, tl := range sw.Timelines {
+		for j, m := range tl.Timeline {
+			if err := m.validate(); err != nil {
+				return nil, fmt.Errorf("netfence: Sweep timeline %q (index %d) mutation %d: %w", tl.Name, i, j, err)
+			}
+		}
+	}
+	scs := sw.Scenarios()
+	var onDone func(i int)
+	if sw.Progress != nil {
+		var mu sync.Mutex
+		done := 0
+		onDone = func(i int) {
+			// The callback runs under the mutex so calls are serialized
+			// and done counts monotonically as delivered.
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			sw.Progress(done, len(scs), scs[i].Name)
+		}
+	}
+	return runParallelCtx(ctx, scs, sw.Parallelism, onDone)
 }
 
 // checkAttacks fails fast on an unknown attack name — naming the
@@ -371,6 +433,15 @@ func cellWidth(in *Instance, budget int) int {
 // whole sweep down rather than speeding it up. An explicit parallelism
 // overrides the budget and caps plain worker count instead.
 func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
+	return runParallelCtx(context.Background(), scs, parallelism, nil)
+}
+
+// runParallelCtx is runParallel under a context with a per-cell
+// completion callback. Cancelling ctx stops feeding new cells (and
+// makes queued workers drop their items); cells already running finish
+// normally. onDone, when set, is invoked once per attempted cell —
+// completed or failed — with its scenario index.
+func runParallelCtx(ctx context.Context, scs []Scenario, parallelism int, onDone func(i int)) ([]*Result, error) {
 	var tokens *cpuTokens
 	budget := runtime.GOMAXPROCS(0)
 	if parallelism <= 0 {
@@ -381,7 +452,7 @@ func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
 		parallelism = len(scs)
 	}
 	results := make([]*Result, len(scs))
-	errs := make([]error, len(scs))
+	errs := make([]error, len(scs)+1)
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
@@ -389,6 +460,12 @@ func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				// A cancellation between feed and pickup: skip the cell,
+				// leave its slot nil without a per-cell error (the joined
+				// ctx error already says why).
+				if ctx.Err() != nil {
+					continue
+				}
 				// Build before costing: the instance knows its realized
 				// shard count (AutoShards resolved against the actual
 				// topology), so an auto-sharded cell over a small
@@ -398,6 +475,9 @@ func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
 				in, err := scs[i].Build()
 				if err != nil {
 					errs[i] = err
+					if onDone != nil {
+						onDone(i)
+					}
 					continue
 				}
 				n := 0
@@ -410,13 +490,24 @@ func runParallel(scs []Scenario, parallelism int) ([]*Result, error) {
 					tokens.release(n)
 				}
 				results[i] = res
+				if onDone != nil {
+					onDone(i)
+				}
 			}
 		}()
 	}
+feed:
 	for i := range scs {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs[len(scs)] = fmt.Errorf("netfence: sweep interrupted: %w", err)
+	}
 	return results, errors.Join(errs...)
 }

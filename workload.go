@@ -468,11 +468,17 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 		ctrl.AddSender(h.Host, dstHost.ID, flow)
 	}
 	env.recordAttack(attack.Canonical(name))
+	var started []*attack.Controller
 	for sh := 0; sh < env.shardCount(); sh++ {
 		if ctrl := ctrls[sh]; ctrl != nil {
 			env.stoppers = append(env.stoppers, ctrl)
 			ctrl.Start()
+			started = append(started, ctrl)
 		}
 	}
+	// Register the workload's controllers (in shard order) with the
+	// control plane, so attack mutations can address this workload by its
+	// AttackSpec declaration index.
+	env.attackCtrls = append(env.attackCtrls, started)
 	return nil
 }
