@@ -112,6 +112,14 @@ func (j *job) setState(s jobState) {
 // runner's next boundary when the control buffer is full, and fails
 // once the job has finished.
 func (j *job) control(ms []netfence.Mutation, resume bool) error {
+	// Check finished first: once the job is done both select cases
+	// below could be ready and Go would pick randomly, sometimes
+	// accepting a control message into a buffer nobody will drain.
+	select {
+	case <-j.finished:
+		return errors.New("job is no longer running")
+	default:
+	}
 	select {
 	case j.ctl <- controlMsg{mutations: ms, resume: resume}:
 		return nil

@@ -154,27 +154,25 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		}
 	}
 
+	// Registration and the queue reservation happen in one critical
+	// section: the non-blocking send cannot race Shutdown's close (it
+	// sets draining under s.mu first), and a full queue is detected
+	// before the job is visible, so there is no rollback to get wrong.
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
 		return nil, errServerDraining
 	}
-	s.nextID++
-	j := newJob("j"+strconv.Itoa(s.nextID), spec)
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.mu.Unlock()
-
+	j := newJob("j"+strconv.Itoa(s.nextID+1), spec)
 	select {
 	case s.queue <- j:
-		return j, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
 		return nil, errQueueFull
 	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j, nil
 }
 
 func (s *Server) job(id string) *job {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -15,44 +16,39 @@ type event struct {
 	Data any
 }
 
-// hub fans a job's events out to its SSE subscribers. Every event is
-// also kept in order, so a late subscriber replays the full history
-// before receiving live events — the stream is a deterministic record
-// of the run, not a lossy tail.
+// hub fans a job's events out to its SSE subscribers. The full event
+// history is kept in order and every subscriber reads it through its
+// own cursor, so a late subscriber replays the whole run before
+// receiving live events — the stream is a deterministic record of the
+// run, not a lossy tail. Publishing only appends and wakes readers; it
+// never blocks on a slow or disconnecting client, and there is no
+// per-subscriber channel to race against a disconnect.
 type hub struct {
 	mu     sync.Mutex
+	cond   *sync.Cond
 	events []event
-	subs   map[chan event]bool
 	closed bool
 }
 
 func newHub() *hub {
-	return &hub{subs: map[chan event]bool{}}
+	h := &hub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
 }
 
-// publish appends an event and delivers it to every live subscriber.
-// Delivery blocks until each subscriber's writer accepts it (writers
-// drain promptly; a disconnected client's writer unsubscribes), so
-// subscribers never observe gaps.
+// publish appends an event and wakes every waiting subscriber.
 func (h *hub) publish(typ string, data any) {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.closed {
-		h.mu.Unlock()
 		return
 	}
 	h.events = append(h.events, event{Type: typ, Data: data})
-	subs := make([]chan event, 0, len(h.subs))
-	for ch := range h.subs {
-		subs = append(subs, ch)
-	}
-	h.mu.Unlock()
-	for _, ch := range subs {
-		ch <- event{Type: typ, Data: data}
-	}
+	h.cond.Broadcast()
 }
 
-// close ends the stream: subscribers' channels are closed after the
-// history they have not yet consumed.
+// close ends the stream: the history is final, and readers return once
+// they have consumed it.
 func (h *hub) close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -60,35 +56,37 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
-	for ch := range h.subs {
-		close(ch)
-		delete(h.subs, ch)
-	}
+	h.cond.Broadcast()
 }
 
-// subscribe returns the event history so far and a channel of
-// subsequent events (nil when the stream has already closed —
-// the history is complete).
-func (h *hub) subscribe() ([]event, chan event) {
+// next blocks until events past cursor exist, the stream closes, or
+// ctx is cancelled (the caller must have arranged a Broadcast on
+// cancellation — see watch). It returns the new events and whether the
+// stream is closed; when closed, the batch completes the history.
+func (h *hub) next(ctx context.Context, cursor int) ([]event, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	history := make([]event, len(h.events))
-	copy(history, h.events)
-	if h.closed {
-		return history, nil
+	for cursor >= len(h.events) && !h.closed && ctx.Err() == nil {
+		h.cond.Wait()
 	}
-	ch := make(chan event, 64)
-	h.subs[ch] = true
-	return history, ch
+	batch := make([]event, len(h.events)-cursor)
+	copy(batch, h.events[cursor:])
+	return batch, h.closed
 }
 
-func (h *hub) unsubscribe(ch chan event) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.subs[ch] {
-		delete(h.subs, ch)
-		close(ch)
-	}
+// watch wakes next's wait loop when ctx is cancelled, so a subscriber
+// blocked on a quiet stream notices its client went away. The returned
+// stop func releases the watcher.
+func (h *hub) watch(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // writeSSE writes one event in text/event-stream framing.
@@ -112,31 +110,27 @@ func serveStream(w http.ResponseWriter, r *http.Request, h *hub) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	fl.Flush()
 
-	history, live := h.subscribe()
-	if live != nil {
-		defer h.unsubscribe(live)
-	}
-	for _, ev := range history {
-		if err := writeSSE(w, ev); err != nil {
+	ctx := r.Context()
+	defer h.watch(ctx)()
+
+	cursor := 0
+	for {
+		batch, closed := h.next(ctx, cursor)
+		if ctx.Err() != nil {
 			return
 		}
-	}
-	fl.Flush()
-	if live == nil {
-		return
-	}
-	for {
-		select {
-		case ev, ok := <-live:
-			if !ok {
-				return
-			}
+		for _, ev := range batch {
 			if err := writeSSE(w, ev); err != nil {
 				return
 			}
+		}
+		if len(batch) > 0 {
 			fl.Flush()
-		case <-r.Context().Done():
+		}
+		cursor += len(batch)
+		if closed {
 			return
 		}
 	}
