@@ -35,6 +35,23 @@
 //	netfence-sim -sweep -attack flood,onoff-sync,replay,legacy-flood
 //	netfence-sim -sweep -attack request-prio -defense netfence,tva
 //
+// Attack strategies expose tunable parameters (-list-attacks prints
+// each strategy's ranges and defaults); a sweep axis entry may pin them
+// with name:key=val,... syntax:
+//
+//	netfence-sim -sweep -attack onoff-sync:on=1,off=4,trickle_bps=10000
+//
+// -search replaces the hand-picked parameters with an adversarial
+// search: per (defense × strategy) cell a deterministic seeded
+// optimizer (-search-optimizer grid|anneal) hunts the parameter vector
+// that minimizes legitimate goodput within -search-budget candidate
+// evaluations, prints the worst-found table, optionally writes it as
+// JSON (-search-out), and fails the run when NetFence falls below the
+// Theorem-1 floor at a searched optimum:
+//
+//	netfence-sim -search -defense netfence,tva -attack flood,onoff-sync
+//	netfence-sim -search -search-optimizer anneal -search-budget 32 -search-out worst.json
+//
 // Scales: tiny (seconds of wall time, CI), small (default, minutes),
 // paper (the full 1000-sender, 4000-simulated-second configuration —
 // expect a long run).
@@ -94,6 +111,7 @@ import (
 	"time"
 
 	"netfence"
+	"netfence/internal/attack"
 	"netfence/internal/defense"
 	"netfence/internal/exp"
 	"netfence/internal/server"
@@ -117,6 +135,12 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8080", "serve: listen address (use :0 for an ephemeral port)")
 		serveWorkers = flag.Int("serve-workers", 2, "serve: jobs run concurrently")
 		serveQueue   = flag.Int("serve-queue", 16, "serve: queued-job bound; past it POST /jobs answers 503")
+
+		searchMode   = flag.Bool("search", false, "run the adversarial search instead of a figure: optimize attack parameters per (defense x strategy) cell for maximum damage and print the worst-found table")
+		searchBudget = flag.Int("search-budget", 24, "search: candidate evaluations per (defense x strategy) cell")
+		searchOpt    = flag.String("search-optimizer", "grid", "search: optimizer (grid | anneal)")
+		searchSeed   = flag.Uint64("search-seed", 1, "search: optimizer RNG seed (the report is deterministic in it)")
+		searchOut    = flag.String("search-out", "", "search: write the worst-found table as JSON to this file")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario-matrix sweep instead of a figure")
 		progress   = flag.Bool("progress", false, "sweep: print per-cell completion progress to stderr")
@@ -190,9 +214,7 @@ func main() {
 		return
 	}
 	if *listAtk {
-		for _, name := range netfence.Attacks() {
-			fmt.Println(name)
-		}
+		listAttacks()
 		return
 	}
 	if *benchJSON {
@@ -211,6 +233,12 @@ func main() {
 	defenseList, err := parseDefenses(*defenses)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *searchMode {
+		runSearch(defenseList, *topoName, *seeds, *senders, *attacks, *bottleneck, *duration, *parallel, *shards,
+			*searchBudget, *searchOpt, *searchSeed, *searchOut, *progress)
+		return
 	}
 
 	if *sweep {
@@ -312,65 +340,11 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 	// the registered-names message.
 	topoName = strings.ToLower(strings.TrimSpace(topoName))
 
-	// collusionWorkloads splits a sender group 25% long-TCP users / 75%
-	// colluder-bound attackers: the classic static colluder flood by
-	// default, or an AttackSpec the Attacks axis re-targets per cell.
-	collusionWorkloads := func(group, senders int) []netfence.Workload {
-		users := senders / 4
-		if users == 0 && senders > 0 {
-			users = 1
-		}
-		atk := netfence.Workload(netfence.ColluderPairs{
-			Group: group, Senders: netfence.Range(users, senders), RateBps: 1_000_000,
-		})
-		if len(attackList) > 0 {
-			atk = netfence.AttackSpec{
-				Group: group, Senders: netfence.Range(users, senders),
-				RateBps: 1_000_000, ToColluders: true,
-			}
-		}
-		return []netfence.Workload{
-			netfence.LongTCP{Group: group, Senders: netfence.Range(0, users)},
-			atk,
-		}
-	}
-
 	sw := netfence.Sweep{
 		Base: netfence.Scenario{Name: "collusion"},
 		// The role split depends on the population, so each population
 		// cell rebuilds the scenario through BaseFor.
-		BaseFor: func(pop int) netfence.Scenario {
-			var spec netfence.TopologySpec
-			var wl []netfence.Workload
-			switch topoName {
-			case "":
-				spec = netfence.DumbbellSpec{Senders: pop, BottleneckBps: bottleneck, ColluderASes: 9}
-				wl = collusionWorkloads(0, pop)
-			case "parkinglot":
-				// The parking lot splits the population over three
-				// sender groups: round the requested population down to
-				// a multiple of 3 and attach the collusion mix to each.
-				if pop -= pop % 3; pop < 3 {
-					pop = 3
-				}
-				spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
-				for g := 0; g < 3; g++ {
-					wl = append(wl, collusionWorkloads(g, pop/3)...)
-				}
-			default:
-				// Registered topologies own their scaling: the in-tree
-				// defaults keep a 200 kbps per-sender fair share and
-				// include colluder ASes.
-				spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
-				wl = collusionWorkloads(0, pop)
-			}
-			return netfence.Scenario{
-				Topology:  spec,
-				Workloads: wl,
-				Duration:  netfence.Time(durationSec) * netfence.Second,
-				Shards:    shards, // -1 is netfence.AutoShards
-			}
-		},
+		BaseFor:         collusionBaseFor(topoName, bottleneck, durationSec, shards, len(attackList) > 0),
 		Defenses:        defenseList,
 		Populations:     popList,
 		DeployFractions: deployList,
@@ -408,6 +382,169 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 	}
 }
 
+// collusionBaseFor builds the population-parameterized base scenario
+// shared by -sweep and -search: the paper's collusion mix (25%
+// long-TCP users, 75% colluder-bound attackers) on the default
+// dumbbell or any registered topology. useAttackSpec swaps the static
+// colluder flood for an AttackSpec driven by the attack subsystem —
+// the workload the Attacks axis re-targets and the search tunes.
+func collusionBaseFor(topoName string, bottleneck int64, durationSec, shards int, useAttackSpec bool) func(pop int) netfence.Scenario {
+	// collusionWorkloads splits a sender group 25% long-TCP users / 75%
+	// colluder-bound attackers.
+	collusionWorkloads := func(group, senders int) []netfence.Workload {
+		users := senders / 4
+		if users == 0 && senders > 0 {
+			users = 1
+		}
+		atk := netfence.Workload(netfence.ColluderPairs{
+			Group: group, Senders: netfence.Range(users, senders), RateBps: 1_000_000,
+		})
+		if useAttackSpec {
+			atk = netfence.AttackSpec{
+				Group: group, Senders: netfence.Range(users, senders),
+				RateBps: 1_000_000, ToColluders: true,
+			}
+		}
+		return []netfence.Workload{
+			netfence.LongTCP{Group: group, Senders: netfence.Range(0, users)},
+			atk,
+		}
+	}
+	return func(pop int) netfence.Scenario {
+		var spec netfence.TopologySpec
+		var wl []netfence.Workload
+		switch topoName {
+		case "":
+			spec = netfence.DumbbellSpec{Senders: pop, BottleneckBps: bottleneck, ColluderASes: 9}
+			wl = collusionWorkloads(0, pop)
+		case "parkinglot":
+			// The parking lot splits the population over three
+			// sender groups: round the requested population down to
+			// a multiple of 3 and attach the collusion mix to each.
+			if pop -= pop % 3; pop < 3 {
+				pop = 3
+			}
+			spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
+			for g := 0; g < 3; g++ {
+				wl = append(wl, collusionWorkloads(g, pop/3)...)
+			}
+		default:
+			// Registered topologies own their scaling: the in-tree
+			// defaults keep a 200 kbps per-sender fair share and
+			// include colluder ASes.
+			spec = netfence.RegisteredTopology{Name: topoName, Population: pop}
+			wl = collusionWorkloads(0, pop)
+		}
+		return netfence.Scenario{
+			Topology:  spec,
+			Workloads: wl,
+			Duration:  netfence.Time(durationSec) * netfence.Second,
+			Shards:    shards, // -1 is netfence.AutoShards
+		}
+	}
+}
+
+// runSearch drives the adversarial search over the collusion scenario:
+// per (defense × strategy) cell a seeded optimizer tunes the
+// strategy's declared parameters for maximum legit-goodput
+// suppression. The worst-found table prints as text (and JSON with
+// -search-out); the run fails when NetFence falls below the Theorem-1
+// floor at a searched optimum.
+func runSearch(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV string, bottleneck int64, durationSec, parallelism, shards, budget int, optimizer string, searchSeed uint64, outPath string, showProgress bool) {
+	seedList, err := parseUints(seedsCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-seeds: %w", err))
+	}
+	popList, err := parseInts(sendersCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-senders: %w", err))
+	}
+	// The search already sweeps (defense × strategy × candidate); a
+	// multi-valued population or seed axis belongs to -sweep.
+	if len(seedList) != 1 || len(popList) != 1 {
+		fatal(fmt.Errorf("-search takes exactly one -seeds value and one -senders value (got %v, %v); use -sweep for axes", seedList, popList))
+	}
+	var strategies []string
+	if strings.TrimSpace(attacksCSV) != "" {
+		specs, err := attack.ParseSpecList(attacksCSV)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range specs {
+			if len(s.Params) > 0 {
+				fatal(fmt.Errorf("-search tunes attack parameters itself; drop the overrides from %q (use -sweep to pin them)", s))
+			}
+			strategies = append(strategies, s.Strategy)
+		}
+	}
+	if len(defenseList) == 0 {
+		defenseList = []string{"netfence", "tva", "stopit", "fq"}
+	}
+	base := collusionBaseFor(strings.ToLower(strings.TrimSpace(topoName)), bottleneck, durationSec, shards, true)(popList[0])
+	base.Name = "collusion"
+	base.Seed = seedList[0]
+
+	spec := netfence.SearchSpec{
+		Base:        base,
+		Defenses:    defenseList,
+		Strategies:  strategies,
+		Optimizer:   optimizer,
+		Budget:      budget,
+		Seed:        searchSeed,
+		Parallelism: parallelism,
+	}
+	if showProgress {
+		spec.Progress = func(done, total int, cell string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, cell)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	rep, err := spec.RunContext(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Table())
+	evals := 0
+	for _, row := range rep.Rows {
+		evals += row.Evals
+	}
+	fmt.Printf("\n(%d cells, %d candidates, %.1fs wall)\n", len(rep.Rows), evals, time.Since(start).Seconds())
+	if outPath != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(js, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if err := rep.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flushProfiles()
+		os.Exit(1)
+	}
+}
+
+// listAttacks prints every registered strategy with its tunable
+// parameter surface, generated from the registered ParamSpecs.
+func listAttacks() {
+	for _, name := range netfence.Attacks() {
+		fmt.Println(name)
+		specs, err := netfence.AttackParams(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range specs {
+			fmt.Printf("  %-12s %-6s [%v, %v]  default %v  %s\n",
+				p.Name, p.Type(), p.Min, p.Max, p.Default, p.Desc)
+		}
+	}
+}
+
 // parseDefenses validates a comma-separated defense list against the
 // registry.
 func parseDefenses(csv string) ([]string, error) {
@@ -434,27 +571,21 @@ func parseDefenses(csv string) ([]string, error) {
 	return out, nil
 }
 
-// parseAttacks validates a comma-separated attack-strategy list against
-// the attack registry.
+// parseAttacks validates a comma-separated attack list — names or
+// parameterized specs ("onoff-sync:on=1,off=4") — against the attack
+// registry, returning canonical spec strings for the Sweep axis. A
+// malformed spec fails fast with the strategy and offending key named.
 func parseAttacks(csv string) ([]string, error) {
 	if strings.TrimSpace(csv) == "" {
 		return nil, nil
 	}
-	registered := map[string]bool{}
-	for _, n := range netfence.Attacks() {
-		registered[n] = true
+	specs, err := attack.ParseSpecList(csv)
+	if err != nil {
+		return nil, err
 	}
-	var out []string
-	for _, f := range strings.Split(csv, ",") {
-		name := strings.ToLower(strings.TrimSpace(f))
-		if name == "" {
-			continue
-		}
-		if !registered[name] {
-			return nil, fmt.Errorf("unknown attack strategy %q (registered: %s)",
-				name, strings.Join(netfence.Attacks(), ", "))
-		}
-		out = append(out, name)
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.String()
 	}
 	return out, nil
 }
@@ -502,7 +633,7 @@ func parseUints(csv string) ([]uint64, error) {
 // one per major simulation shape (capability channel, collusion,
 // multi-bottleneck, analytic bound, incremental deployment, adaptive
 // adversaries).
-var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy", "strategic"}
+var benchNames = []string{"fig8", "fig9a", "fig10", "theorem", "deploy", "strategic", "worstcase"}
 
 // benchRow is one timed suite in the -bench-json report. EventsPerSec and
 // AllocsPerOp are measured over every engine the suite drives (an "op" is
@@ -515,6 +646,9 @@ type benchRow struct {
 	Events      uint64  `json:"events"`
 	EventsPer   float64 `json:"events_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CandidatesPerSec is set on the adversarial-search row only:
+	// evaluated attack configurations per wall second.
+	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
 }
 
 type benchReport struct {
@@ -621,6 +755,14 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 			rep.Rows = append(rep.Rows, measure(fmt.Sprintf("collusion-shards%d", n), "tiny",
 				func() { runShardedSmoke(shards, n) }))
 		}
+		// The adversarial-search row: throughput of the optimizer loop
+		// itself, in candidates per second.
+		evals := 0
+		searchRow := measure("search", "tiny", func() { evals = runSearchBench() })
+		if searchRow.WallSeconds > 0 {
+			searchRow.CandidatesPerSec = float64(evals) / searchRow.WallSeconds
+		}
+		rep.Rows = append(rep.Rows, searchRow)
 	case "large", "huge":
 		// The headroom demonstration: one cell on the seeded random
 		// AS-level topology with >=10k senders (large) or >=65k senders
@@ -709,6 +851,30 @@ func runShardedSmoke(shards, label int) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, res.String())
+}
+
+// runSearchBench is the adversarial-search bench cell: a small
+// annealed search (two strategies against TVA+ on the collusion
+// dumbbell), returning the number of evaluated candidates so the row
+// can report candidates/sec.
+func runSearchBench() int {
+	rep, err := netfence.SearchSpec{
+		Base:       collusionBaseFor("", 4_000_000, 40, 1, true)(20),
+		Defenses:   []string{"tva"},
+		Strategies: []string{"flood", "onoff-sync"},
+		Optimizer:  "anneal",
+		Budget:     6,
+		Seed:       1,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+	evals := 0
+	for _, row := range rep.Rows {
+		evals += row.Evals
+	}
+	fmt.Fprint(os.Stderr, rep.Table())
+	return evals
 }
 
 // runLargeCell runs the large bench scenario: 10,240 senders (25%

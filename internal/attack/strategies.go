@@ -9,12 +9,35 @@ import (
 	"netfence/internal/sim"
 )
 
+// rateMultSpec is the rate knob every in-tree strategy shares: the
+// per-sender rate is RateBps (default 1 Mbps) times this multiplier,
+// so a search can push a strategy past the paper's fixed load without
+// a separate rate axis.
+var rateMultSpec = ParamSpec{
+	Name: "rate_mult", Desc: "per-sender rate multiplier on the base attack rate",
+	Min: 0.1, Max: 8, Default: 1,
+}
+
 func init() {
-	Register("flood", newFlood)
-	Register("onoff-sync", newOnOffSync)
-	Register("request-prio", newRequestPrio)
-	Register("replay", newReplay)
-	Register("legacy-flood", newLegacyFlood)
+	Register("flood", newFlood, rateMultSpec)
+	Register("onoff-sync", newOnOffSync,
+		ParamSpec{Name: "on", Desc: "burst length in AIMD control intervals", Min: 1, Max: 8, Default: 1, Integer: true},
+		ParamSpec{Name: "off", Desc: "silence length in AIMD control intervals", Min: 1, Max: 8, Default: 2, Integer: true},
+		ParamSpec{Name: "trickle_bps", Desc: "off-phase trickle rate harvesting L-up feedback (0 = full silence)", Min: 0, Max: 200_000, Default: 0},
+		rateMultSpec,
+	)
+	Register("request-prio", newRequestPrio,
+		ParamSpec{Name: "level", Desc: "request priority level (0 = the computed §6.3.1 strategic level)", Min: 0, Max: 20, Default: 0, Integer: true},
+		rateMultSpec,
+	)
+	Register("replay", newReplay,
+		ParamSpec{Name: "cadence", Desc: "re-harvest a fresh token every N control intervals (0 = cache once, replay forever)", Min: 0, Max: 32, Default: 0, Integer: true},
+		rateMultSpec,
+	)
+	Register("legacy-flood", newLegacyFlood,
+		ParamSpec{Name: "legacy_frac", Desc: "fraction of senders crafting legacy packets; the rest flood the honest policed path", Min: 0, Max: 1, Default: 1},
+		rateMultSpec,
+	)
 }
 
 // StrategicRequestLevel computes the request-channel attack strategy of
@@ -71,6 +94,12 @@ func newBase(name string, opts BuildOptions, defaultSize int32) base {
 	b := base{name: name, rate: opts.RateBps, pktSize: opts.PktSize}
 	if b.rate <= 0 {
 		b.rate = 1_000_000
+	}
+	if m := opts.Param("rate_mult", rateMultSpec.Default); m != rateMultSpec.Default {
+		b.rate = int64(float64(b.rate) * m)
+		if b.rate < 1 {
+			b.rate = 1
+		}
 	}
 	if b.pktSize <= 0 {
 		b.pktSize = defaultSize
@@ -145,6 +174,17 @@ func newOnOffSync(opts BuildOptions) (Strategy, error) {
 	if o.OffIntervals <= 0 {
 		o.OffIntervals = 2
 	}
+	// Params override both the defaults and the Options fields — the
+	// search surface wins so a tuned cell is what it says it is.
+	if v, ok := opts.Params["on"]; ok {
+		o.OnIntervals = int(v)
+	}
+	if v, ok := opts.Params["off"]; ok {
+		o.OffIntervals = int(v)
+	}
+	if v, ok := opts.Params["trickle_bps"]; ok {
+		o.OffRateBps = int64(v)
+	}
 	return &onoffSync{base: newBase("onoff-sync", opts, packet.SizeData), opt: o}, nil
 }
 
@@ -182,9 +222,19 @@ func newRequestPrio(opts BuildOptions) (Strategy, error) {
 	if cfg.Ilim <= 0 {
 		cfg = core.DefaultConfig()
 	}
+	level := StrategicRequestLevel(opts.Env.Attackers, opts.Env.BottleneckBps, cfg)
+	// The "level" param pins the priority explicitly (a search probing
+	// whether the computed §6.3.1 level really is optimal); 0 keeps the
+	// computed one. Clamped to the deployment's MaxPrioLevel.
+	if v := opts.Param("level", 0); v > 0 {
+		level = uint8(v)
+		if level > cfg.MaxPrioLevel {
+			level = cfg.MaxPrioLevel
+		}
+	}
 	return &requestPrio{
 		base:  newBase("request-prio", opts, packet.SizeRequest),
-		level: StrategicRequestLevel(opts.Env.Attackers, opts.Env.BottleneckBps, cfg),
+		level: level,
 	}, nil
 }
 
@@ -207,32 +257,75 @@ func (r *requestPrio) Craft(_ *Sender, p *packet.Packet) bool {
 // keyring's MAC expiry (§4.4). It must not: once the token ages past
 // the freshness window w (and the stamping key rotates away), every
 // replayed packet is demoted to the request channel at priority 0.
-type replay struct{ base }
+type replay struct {
+	base
+	// cadence > 0 drops the cached token every cadence control
+	// intervals to harvest a fresh one — the stronger shape a search
+	// can find, replaying tokens that never age past the freshness
+	// window; 0 is the classic cache-once probe.
+	cadence int
+}
+
+// replayState is replay's per-sender cache: the token being presented
+// (packet.Feedback or packet.MultiHeader) and its age in control
+// intervals.
+type replayState struct {
+	tok any
+	age int
+}
 
 func newReplay(opts BuildOptions) (Strategy, error) {
 	if err := rejectOptions("replay", opts); err != nil {
 		return nil, err
 	}
-	return &replay{newBase("replay", opts, packet.SizeData)}, nil
+	return &replay{
+		base:    newBase("replay", opts, packet.SizeData),
+		cadence: int(opts.Param("cadence", 0)),
+	}, nil
+}
+
+func (r *replay) state(s *Sender) *replayState {
+	st, ok := s.State.(*replayState)
+	if !ok {
+		st = &replayState{}
+		s.State = st
+	}
+	return st
 }
 
 func (r *replay) Start(*Sender) Decision { return r.decision() }
-func (r *replay) Tick(*Sender) Decision  { return r.decision() }
+
+func (r *replay) Tick(s *Sender) Decision {
+	if r.cadence > 0 {
+		if st, ok := s.State.(*replayState); ok && st.tok != nil {
+			if st.age++; st.age >= r.cadence {
+				// Drop the cache: the next returned feedback (or, for
+				// multi-bottleneck headers, the next Craft) re-caches a
+				// fresh token.
+				st.tok, st.age = nil, 0
+			}
+		}
+	}
+	return r.decision()
+}
 
 func (r *replay) Observe(s *Sender, fb packet.Feedback) {
-	if s.State == nil {
-		s.State = fb // cache once, replay forever
+	if st := r.state(s); st.tok == nil {
+		st.tok = fb
+		st.age = 0
 	}
 }
 
 func (r *replay) Craft(s *Sender, p *packet.Packet) bool {
-	if s.State == nil && s.HasMFB {
+	st := r.state(s)
+	if st.tok == nil && s.HasMFB {
 		// Appendix B.1 configurations return the chained multi-
-		// bottleneck header instead of single feedback; cache it once
-		// the same way (Observe never fires for it).
-		s.State = s.LastMFB
+		// bottleneck header instead of single feedback; cache it the
+		// same way (Observe never fires for it).
+		st.tok = s.LastMFB
+		st.age = 0
 	}
-	switch fb := s.State.(type) {
+	switch fb := st.tok.(type) {
 	case packet.Feedback:
 		p.Kind = packet.KindRegular
 		p.FB = fb
@@ -252,19 +345,39 @@ func (r *replay) Craft(s *Sender, p *packet.Packet) bool {
 // only when the request and regular channels are idle. Senders in
 // deployed ASes crafting such packets opt out of policing — and out of
 // priority with it.
-type legacyFlood struct{ base }
+type legacyFlood struct {
+	base
+	// crafters is how many senders (by workload Index, lowest first)
+	// craft legacy packets; the rest flood the honest policed path —
+	// the mixed population the "legacy_frac" param sweeps.
+	crafters int
+}
 
 func newLegacyFlood(opts BuildOptions) (Strategy, error) {
 	if err := rejectOptions("legacy-flood", opts); err != nil {
 		return nil, err
 	}
-	return &legacyFlood{newBase("legacy-flood", opts, packet.SizeData)}, nil
+	attackers := 1
+	if opts.Env != nil && opts.Env.Attackers > 0 {
+		attackers = opts.Env.Attackers
+	}
+	crafters := attackers
+	if frac := opts.Param("legacy_frac", 1); frac < 1 {
+		crafters = int(math.Round(frac * float64(attackers)))
+	}
+	return &legacyFlood{
+		base:     newBase("legacy-flood", opts, packet.SizeData),
+		crafters: crafters,
+	}, nil
 }
 
 func (l *legacyFlood) Start(*Sender) Decision { return l.decision() }
 func (l *legacyFlood) Tick(*Sender) Decision  { return l.decision() }
 
-func (l *legacyFlood) Craft(_ *Sender, p *packet.Packet) bool {
+func (l *legacyFlood) Craft(s *Sender, p *packet.Packet) bool {
+	if s != nil && s.Index >= l.crafters {
+		return false // honest-path tail of the split population
+	}
 	p.Kind = packet.KindLegacy
 	p.Prio = 0
 	p.FB = packet.Feedback{}

@@ -236,6 +236,7 @@ func Runners() []Runner {
 		{"fig14", "parking lot with rate-limiter inference (App. B.2)", func(sc Scale) Result { return Fig10(sc, ModeInfer) }, false},
 		{"theorem", "fair-share lower bound of §3.4/Appendix A", Theorem, false},
 		{"strategic", "adaptive attack strategies vs the Theorem-1 goodput floor (§6.3)", Strategic, true},
+		{"worstcase", "adversarial search: annealed worst attack per defense vs the hand-written lineup", WorstCase, true},
 		{"localize", "compromised-AS damage localization (§4.5)", Localize, false},
 		{"header", "NetFence header sizes (§6.1)", HeaderSizes, false},
 		{"ablate-hysteresis", "L-down hysteresis ablation (footnote 1)", AblateHysteresis, false},

@@ -43,7 +43,7 @@ func Strategic(sc Scale) Result {
 	}
 	for _, strat := range strategicLineup {
 		for _, kind := range sc.Compared() {
-			c := strategicCell(sc, label, kind, strat)
+			c := strategicCell(sc, label, kind, strat, nil)
 			res.AddRow(
 				strat,
 				string(kind),
@@ -61,8 +61,10 @@ func Strategic(sc Scale) Result {
 
 // strategicCell runs one (strategy, system) cell: the fig9 collusion
 // split with the attackers driven by the attack subsystem instead of
-// static UDP sources.
-func strategicCell(sc Scale, label int, kind SystemKind, stratName string) fig9Out {
+// static UDP sources. params overrides the strategy's tunable
+// parameters (nil = the hand-written defaults) — the worst-case
+// search's evaluation surface.
+func strategicCell(sc Scale, label int, kind SystemKind, stratName string, params map[string]float64) fig9Out {
 	eng := sim.New(sc.Seed)
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
@@ -88,7 +90,7 @@ func strategicCell(sc Scale, label int, kind SystemKind, stratName string) fig9O
 	}
 
 	env := &attack.Env{Eng: eng, Attackers: len(attackers), BottleneckBps: bottleneck, Config: nfCfg}
-	strat, err := attack.Build(stratName, attack.BuildOptions{RateBps: 1_000_000, Env: env})
+	strat, err := attack.Build(stratName, attack.BuildOptions{RateBps: 1_000_000, Env: env, Params: params})
 	if err != nil {
 		// The lineup is fixed in-tree; an unknown name is a programmer
 		// error, not a runtime condition.

@@ -1,0 +1,80 @@
+package search
+
+import (
+	"math"
+
+	"netfence/internal/attack"
+)
+
+// annealOpt is batched simulated annealing. From the defaults it walks
+// a Metropolis chain: each round proposes a small batch of
+// perturbations of the current point (so independent candidates can be
+// simulated in parallel), accepts improvements always and regressions
+// with probability exp(Δ/T·|cur|), and cools geometrically. All
+// randomness comes from the seeded stream, so the proposal sequence —
+// and hence the whole trace — is a pure function of (dims, budget,
+// seed).
+type annealOpt struct{}
+
+func (annealOpt) Name() string { return "anneal" }
+
+// annealBatch bounds how many proposals share one temperature step; it
+// is also the parallel width the driver can exploit per round.
+const annealBatch = 4
+
+func (annealOpt) Run(dims []attack.ParamSpec, budget int, seed uint64, eval BatchEval) (Vec, []Step, error) {
+	ev := newEvaluator(eval, budget)
+	cur := defaults(dims)
+	d, err := ev.run([]Vec{cur})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dims) == 0 {
+		return ev.best, ev.trace, nil
+	}
+	curD := d[0]
+	r := rng(seed, 0x616e6e65616c) // "anneal"
+	temp := 0.5
+	stale := 0
+	for ev.remaining() > 0 && stale < 8 {
+		n := annealBatch
+		if rem := ev.remaining(); n > rem {
+			n = rem
+		}
+		batch := make([]Vec, n)
+		for i := range batch {
+			v := cur.Clone()
+			for j, p := range dims {
+				span := p.Max - p.Min
+				v[j] = snap(p, v[j]+(2*r.Float64()-1)*temp*span)
+			}
+			batch[i] = v
+		}
+		before := ev.spent()
+		damages, err := ev.run(batch)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ev.spent() == before {
+			// Every proposal was a cache hit (integer dims at low
+			// temperature collapse to few distinct points); count the
+			// dry round so a converged chain terminates early.
+			stale++
+		} else {
+			stale = 0
+		}
+		for i, v := range batch {
+			dv := damages[i]
+			if math.IsInf(dv, -1) {
+				continue // beyond budget, never evaluated
+			}
+			scale := temp * math.Max(1, math.Abs(curD))
+			if dv > curD || r.Float64() < math.Exp((dv-curD)/scale) {
+				cur = v
+				curD = dv
+			}
+		}
+		temp *= 0.8
+	}
+	return ev.best, ev.trace, nil
+}

@@ -1,0 +1,72 @@
+package search
+
+import "netfence/internal/attack"
+
+// gridOpt is deterministic grid refinement: evaluate the defaults,
+// then repeatedly probe a shrinking neighborhood around the incumbent.
+// Each round tries {lo, mid, hi} per dimension — a full 3^d factorial
+// when the remaining budget affords it, per-dimension coordinate
+// sweeps otherwise — then halves the radius. It needs no randomness at
+// all, making it the most legible baseline for the annealer to beat.
+type gridOpt struct{}
+
+func (gridOpt) Name() string { return "grid" }
+
+func (gridOpt) Run(dims []attack.ParamSpec, budget int, seed uint64, eval BatchEval) (Vec, []Step, error) {
+	ev := newEvaluator(eval, budget)
+	if _, err := ev.run([]Vec{defaults(dims)}); err != nil {
+		return nil, nil, err
+	}
+	radius := make([]float64, len(dims))
+	for i, p := range dims {
+		radius[i] = (p.Max - p.Min) / 2
+	}
+	pow3 := 1
+	for range dims {
+		if pow3 > budget {
+			break
+		}
+		pow3 *= 3
+	}
+	for ev.remaining() > 0 && len(dims) > 0 {
+		before := ev.spent()
+		center := ev.best
+		var batch []Vec
+		if pow3 <= ev.remaining() {
+			// Full factorial: every {lo, mid, hi} combination.
+			batch = append(batch, center.Clone())
+			for i, p := range dims {
+				var next []Vec
+				for _, v := range batch {
+					for _, x := range []float64{center[i] - radius[i], center[i], center[i] + radius[i]} {
+						w := v.Clone()
+						w[i] = snap(p, x)
+						next = append(next, w)
+					}
+				}
+				batch = next
+			}
+		} else {
+			// Coordinate sweeps: vary one dimension at a time.
+			for i, p := range dims {
+				for _, x := range []float64{center[i] - radius[i], center[i] + radius[i]} {
+					w := center.Clone()
+					w[i] = snap(p, x)
+					batch = append(batch, w)
+				}
+			}
+		}
+		if _, err := ev.run(batch); err != nil {
+			return nil, nil, err
+		}
+		for i := range radius {
+			radius[i] /= 2
+		}
+		if ev.spent() == before {
+			// Everything in this neighborhood is cached: the grid has
+			// converged and further shrinking cannot add candidates.
+			break
+		}
+	}
+	return ev.best, ev.trace, nil
+}

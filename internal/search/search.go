@@ -1,0 +1,206 @@
+// Package search implements deterministic black-box optimizers over an
+// attack strategy's declared parameter space (attack.ParamSpec). The
+// driver in the root package wires an optimizer to the Scenario/Sweep
+// machinery: each candidate vector becomes a parameterized attack
+// workload, the simulator scores it, and the optimizer hunts for the
+// configuration that maximizes damage — the adversarial half of the
+// Theorem-1 regression gate.
+//
+// Determinism contract: an optimizer's candidate sequence is a pure
+// function of (dims, budget, seed). Randomness comes only from a
+// seeded PCG stream mirroring sim.KeyStream, never from time or global
+// state, so identical inputs replay byte-identically regardless of how
+// the evaluation itself is parallelized.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"netfence/internal/attack"
+)
+
+// Vec is one candidate configuration: a value per dimension, in the
+// strategy's ParamSpec declaration order.
+type Vec []float64
+
+// Clone returns an independent copy.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Params renders the vector as an attack parameter map keyed by spec
+// name, suitable for attack.BuildOptions.Params.
+func (v Vec) Params(dims []attack.ParamSpec) map[string]float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(v))
+	for i, p := range dims {
+		out[p.Name] = v[i]
+	}
+	return out
+}
+
+// Step records one evaluated candidate, in evaluation order. Best
+// marks the steps where the incumbent improved (strictly — ties keep
+// the earlier candidate).
+type Step struct {
+	Index  int
+	Vec    Vec
+	Damage float64
+	Best   bool
+}
+
+// BatchEval scores a batch of candidate vectors, returning one damage
+// value per candidate (higher = more damage to the defense). The
+// optimizer batches independent candidates so the caller can fan the
+// simulations out across sweep workers; the returned slice must be
+// index-aligned with the batch.
+type BatchEval func(batch []Vec) ([]float64, error)
+
+// Optimizer searches a parameter space for the maximum-damage vector.
+// Run evaluates at most budget candidates through eval and returns the
+// best vector found plus the full evaluation trace. Every
+// implementation is deterministic in (dims, budget, seed).
+type Optimizer interface {
+	Name() string
+	Run(dims []attack.ParamSpec, budget int, seed uint64, eval BatchEval) (best Vec, trace []Step, err error)
+}
+
+// New resolves an optimizer by name. The empty string selects grid
+// refinement, the default.
+func New(name string) (Optimizer, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "grid":
+		return gridOpt{}, nil
+	case "anneal", "annealing":
+		return annealOpt{}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown optimizer %q (available: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names returns the available optimizer names.
+func Names() []string { return []string{"anneal", "grid"} }
+
+// rng derives the optimizer's random stream from the search seed,
+// mirroring the engine's KeyStream construction so seeds mix well even
+// when callers pass small integers.
+func rng(seed, id uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^0x9e3779b97f4a7c15, id))
+}
+
+// defaults returns the vector of spec defaults — always the first
+// candidate evaluated, so every trace starts from the hand-written
+// baseline.
+func defaults(dims []attack.ParamSpec) Vec {
+	v := make(Vec, len(dims))
+	for i, p := range dims {
+		v[i] = p.Default
+	}
+	return v
+}
+
+// snap clamps x into the spec's range and rounds integer dimensions.
+func snap(p attack.ParamSpec, x float64) float64 {
+	if p.Integer {
+		x = math.Round(x)
+	}
+	if x < p.Min {
+		x = p.Min
+	}
+	if x > p.Max {
+		x = p.Max
+	}
+	if p.Integer {
+		x = math.Round(x)
+	}
+	return x
+}
+
+// key renders a vector as a cache key: exact float formatting, so two
+// vectors collide only when they are value-identical.
+func key(v Vec) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// evaluator wraps a BatchEval with budget accounting, deduplication
+// and trace/incumbent bookkeeping shared by every optimizer.
+type evaluator struct {
+	eval   BatchEval
+	budget int
+	cache  map[string]float64
+	trace  []Step
+	best   Vec
+	bestD  float64
+}
+
+func newEvaluator(eval BatchEval, budget int) *evaluator {
+	return &evaluator{eval: eval, budget: budget, cache: map[string]float64{}, bestD: math.Inf(-1)}
+}
+
+func (e *evaluator) spent() int     { return len(e.trace) }
+func (e *evaluator) remaining() int { return e.budget - len(e.trace) }
+
+// run scores a batch, charging the budget only for vectors not seen
+// before. It returns one damage per input vector: cached values replay
+// for free, and candidates beyond the remaining budget come back as
+// -Inf (never evaluated, never an incumbent).
+func (e *evaluator) run(batch []Vec) ([]float64, error) {
+	fresh := make([]Vec, 0, len(batch))
+	seen := map[string]bool{}
+	for _, v := range batch {
+		k := key(v)
+		if _, ok := e.cache[k]; ok || seen[k] {
+			continue
+		}
+		if len(fresh) >= e.remaining() {
+			break
+		}
+		seen[k] = true
+		fresh = append(fresh, v.Clone())
+	}
+	if len(fresh) > 0 {
+		damages, err := e.eval(fresh)
+		if err != nil {
+			return nil, err
+		}
+		if len(damages) != len(fresh) {
+			return nil, fmt.Errorf("search: eval returned %d damages for %d candidates", len(damages), len(fresh))
+		}
+		for i, v := range fresh {
+			d := damages[i]
+			e.cache[key(v)] = d
+			st := Step{Index: len(e.trace), Vec: v, Damage: d}
+			if d > e.bestD {
+				e.bestD = d
+				e.best = v.Clone()
+				st.Best = true
+			}
+			e.trace = append(e.trace, st)
+		}
+	}
+	out := make([]float64, len(batch))
+	for i, v := range batch {
+		if d, ok := e.cache[key(v)]; ok {
+			out[i] = d
+		} else {
+			out[i] = math.Inf(-1)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"netfence/internal/attack"
+)
+
+var testDims = []attack.ParamSpec{
+	{Name: "rate", Min: 0.1, Max: 8, Default: 1},
+	{Name: "duty", Min: 1, Max: 8, Default: 2, Integer: true},
+}
+
+// bowl is a smooth objective maximized away from the defaults, at
+// (rate=6, duty=5).
+func bowl(batch []Vec) ([]float64, error) {
+	out := make([]float64, len(batch))
+	for i, v := range batch {
+		if len(v) == 2 {
+			out[i] = -math.Pow(v[0]-6, 2) - 0.5*math.Pow(v[1]-5, 2)
+		}
+	}
+	return out, nil
+}
+
+func TestOptimizersBeatDefault(t *testing.T) {
+	defD := -math.Pow(1-6, 2) - 0.5*math.Pow(2-5, 2)
+	for _, name := range Names() {
+		opt, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		best, trace, err := opt.Run(testDims, 40, 7, bowl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(trace) == 0 || !reflect.DeepEqual(trace[0].Vec, Vec{1, 2}) {
+			t.Fatalf("%s: trace must start at the defaults, got %+v", name, trace)
+		}
+		d, _ := bowl([]Vec{best})
+		if d[0] <= defD {
+			t.Fatalf("%s: best %v damage %v does not beat default %v", name, best, d[0], defD)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		opt, _ := New(name)
+		run := func() string {
+			best, trace, err := opt.Run(testDims, 25, 42, bowl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("%v|%v", best, trace)
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("%s: same seed diverged:\n%s\n%s", name, a, b)
+		}
+		// A different seed must still respect budget and return a best.
+		if _, trace, err := opt.Run(testDims, 25, 43, bowl); err != nil || len(trace) == 0 {
+			t.Fatalf("%s seed 43: trace %d err %v", name, len(trace), err)
+		}
+	}
+}
+
+func TestBudgetCap(t *testing.T) {
+	for _, name := range Names() {
+		opt, _ := New(name)
+		calls := 0
+		counted := func(batch []Vec) ([]float64, error) {
+			calls += len(batch)
+			return bowl(batch)
+		}
+		for _, budget := range []int{1, 3, 9} {
+			calls = 0
+			_, trace, err := opt.Run(testDims, budget, 1, counted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if calls > budget || len(trace) > budget {
+				t.Fatalf("%s budget %d: %d evals, trace %d", name, budget, calls, len(trace))
+			}
+			if len(trace) == 0 {
+				t.Fatalf("%s budget %d: empty trace", name, budget)
+			}
+		}
+	}
+}
+
+func TestDedupAndBestMarks(t *testing.T) {
+	ev := newEvaluator(bowl, 10)
+	if _, err := ev.run([]Vec{{1, 2}, {1, 2}, {6, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev.spent() != 2 {
+		t.Fatalf("duplicate charged budget: spent %d", ev.spent())
+	}
+	if !ev.trace[0].Best || !ev.trace[1].Best {
+		t.Fatalf("best marks wrong: %+v", ev.trace)
+	}
+	if got := key(Vec{6, 5}); key(ev.best) != got {
+		t.Fatalf("best = %v", ev.best)
+	}
+}
+
+func TestZeroDims(t *testing.T) {
+	for _, name := range Names() {
+		opt, _ := New(name)
+		best, trace, err := opt.Run(nil, 5, 1, bowl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(trace) != 1 || len(best) != 0 {
+			t.Fatalf("%s: zero-dim space should evaluate exactly the (empty) default, got best %v trace %d", name, best, len(trace))
+		}
+	}
+}
+
+func TestUnknownOptimizer(t *testing.T) {
+	if _, err := New("gradient"); err == nil {
+		t.Fatal("want error for unknown optimizer")
+	}
+}

@@ -67,7 +67,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
 	st := j.status()
 	j.mu.Lock()
-	result, results := j.result, j.results
+	result, results, report := j.result, j.results, j.report
 	j.mu.Unlock()
 	switch jobState(st.State) {
 	case jobQueued, jobRunning, jobPaused:
@@ -81,6 +81,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
 		}
 		if results != nil {
 			body["results"] = results
+		}
+		if report != nil {
+			body["report"] = report
 		}
 		writeJSON(w, http.StatusOK, body)
 	}

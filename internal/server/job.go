@@ -67,6 +67,7 @@ type job struct {
 	cell    string
 	result  *netfence.Result
 	results []*netfence.Result
+	report  *netfence.SearchReport
 
 	hub      *hub
 	ctl      chan controlMsg
@@ -86,10 +87,14 @@ func newJob(id string, spec JobSpec) *job {
 }
 
 func (j *job) kind() string {
-	if j.spec.Scenario != nil {
+	switch {
+	case j.spec.Scenario != nil:
 		return "scenario"
+	case j.spec.Sweep != nil:
+		return "sweep"
+	default:
+		return "search"
 	}
-	return "sweep"
 }
 
 func (j *job) status() JobStatus {
@@ -137,10 +142,13 @@ func (j *job) run(ctx context.Context) {
 	j.setState(jobRunning)
 
 	var err error
-	if j.spec.Scenario != nil {
+	switch {
+	case j.spec.Scenario != nil:
 		err = j.runScenario(ctx)
-	} else {
+	case j.spec.Sweep != nil:
 		err = j.runSweep(ctx)
+	default:
+		err = j.runSearch(ctx)
 	}
 
 	j.mu.Lock()
@@ -156,13 +164,15 @@ func (j *job) run(ctx context.Context) {
 	default:
 		j.state = jobDone
 	}
-	result, results := j.result, j.results
+	result, results, report := j.result, j.results, j.report
 	j.mu.Unlock()
 
 	if result != nil {
 		j.hub.publish("result", result)
 	} else if results != nil {
 		j.hub.publish("result", results)
+	} else if report != nil {
+		j.hub.publish("result", report)
 	}
 	j.hub.publish("status", j.status())
 }
@@ -329,6 +339,38 @@ func (j *job) runSweep(ctx context.Context) error {
 	results, err := sw.RunContext(ctx)
 	j.mu.Lock()
 	j.results = results
+	j.mu.Unlock()
+	return err
+}
+
+// candidateEvent is one evaluated search candidate on the job's SSE
+// stream ("candidate" events): the cell it belongs to and the trace
+// step, best-so-far marked — the live worst-found feed.
+type candidateEvent struct {
+	Cell string              `json:"cell"`
+	Step netfence.SearchStep `json:"step"`
+}
+
+// runSearch drives an adversarial-search job, mirroring per-candidate
+// progress onto the job status and streaming each candidate. A search
+// has no partial report: cancellation discards the cells in flight.
+func (j *job) runSearch(ctx context.Context) error {
+	sp, err := j.spec.Search.Search()
+	if err != nil {
+		return err
+	}
+	sp.Progress = func(done, total int, cell string) {
+		j.mu.Lock()
+		j.done, j.total, j.cell = done, total, cell
+		j.mu.Unlock()
+		j.hub.publish("status", j.status())
+	}
+	sp.OnCandidate = func(cell string, step netfence.SearchStep) {
+		j.hub.publish("candidate", candidateEvent{Cell: cell, Step: step})
+	}
+	report, err := sp.RunContext(ctx)
+	j.mu.Lock()
+	j.report = report
 	j.mu.Unlock()
 	return err
 }

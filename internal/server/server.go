@@ -129,10 +129,17 @@ var (
 // (referential checks against the built topology happen when the job
 // runs).
 func (s *Server) submit(spec JobSpec) (*job, error) {
-	if (spec.Scenario == nil) == (spec.Sweep == nil) {
-		return nil, errors.New("submit exactly one of scenario or sweep")
+	given := 0
+	for _, set := range []bool{spec.Scenario != nil, spec.Sweep != nil, spec.Search != nil} {
+		if set {
+			given++
+		}
 	}
-	if spec.Scenario != nil {
+	if given != 1 {
+		return nil, errors.New("submit exactly one of scenario, sweep or search")
+	}
+	switch {
+	case spec.Scenario != nil:
 		if _, err := spec.Scenario.Scenario(); err != nil {
 			return nil, err
 		}
@@ -141,7 +148,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 				return nil, fmt.Errorf("timeline mutation %d: %w", i, err)
 			}
 		}
-	} else {
+	case spec.Sweep != nil:
 		if _, err := spec.Sweep.Sweep(); err != nil {
 			return nil, err
 		}
@@ -151,6 +158,14 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 					return nil, fmt.Errorf("timeline %q mutation %d: %w", tl.Name, i, err)
 				}
 			}
+		}
+	default:
+		srch, err := spec.Search.Search()
+		if err != nil {
+			return nil, err
+		}
+		if err := srch.Validate(); err != nil {
+			return nil, err
 		}
 	}
 

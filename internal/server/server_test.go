@@ -342,6 +342,102 @@ func TestSweepJob(t *testing.T) {
 	}
 }
 
+// TestSearchJob submits a small-budget adversarial search, checks the
+// per-candidate SSE feed and progress, and reads the worst-found
+// report — the serve-mode face of netfence.SearchSpec (run in CI under
+// -race).
+func TestSearchJob(t *testing.T) {
+	s := startServer(t)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	spec := smokeSpec()
+	spec.Timeline = nil
+	code, body := postJSON(t, base+"/jobs", JobSpec{
+		Search: &SearchJobSpec{
+			Base:       spec,
+			Defenses:   []string{"netfence"},
+			Strategies: []string{"flood"},
+			Optimizer:  "anneal",
+			Budget:     3,
+			Seed:       7,
+		},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "search" {
+		t.Fatalf("kind = %q, want search", st.Kind)
+	}
+
+	// The stream replays every evaluated candidate and ends with the
+	// report as the result event.
+	events := readStream(t, base+"/jobs/"+st.ID+"/stream")
+	var candidates int
+	var sawBest bool
+	var streamed []byte
+	for _, ev := range events {
+		switch ev.typ {
+		case "candidate":
+			candidates++
+			var c struct {
+				Cell string `json:"cell"`
+				Step struct {
+					Attack string `json:"attack"`
+					Best   bool   `json:"best"`
+				} `json:"step"`
+			}
+			if err := json.Unmarshal(ev.data, &c); err != nil {
+				t.Fatalf("candidate event: %v", err)
+			}
+			if c.Cell != "netfence/flood" {
+				t.Errorf("candidate cell = %q", c.Cell)
+			}
+			sawBest = sawBest || c.Step.Best
+		case "result":
+			streamed = ev.data
+		}
+	}
+	if candidates == 0 {
+		t.Fatal("stream carried no candidate events")
+	}
+	if !sawBest {
+		t.Error("no candidate was marked best-so-far")
+	}
+	if streamed == nil {
+		t.Fatal("stream ended without a result event")
+	}
+
+	fin := waitState(t, base, st.ID, string(jobDone))
+	if fin.Done != candidates {
+		t.Errorf("progress done = %d, streamed %d candidates", fin.Done, candidates)
+	}
+	var res struct {
+		Report *netfence.SearchReport `json:"report"`
+	}
+	if code := getJSON(t, base+"/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	if res.Report == nil || len(res.Report.Rows) != 1 {
+		t.Fatalf("report = %+v, want one row", res.Report)
+	}
+	row := res.Report.Rows[0]
+	if row.Defense != "NetFence" || row.Strategy != "flood" || !row.Worst {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Evals != candidates {
+		t.Errorf("row evals = %d, streamed %d candidates", row.Evals, candidates)
+	}
+}
+
 // TestSubmitValidation exercises the synchronous rejection surface.
 func TestSubmitValidation(t *testing.T) {
 	s := startServer(t)
@@ -370,6 +466,25 @@ func TestSubmitValidation(t *testing.T) {
 			Workloads: good.Workloads,
 			Timeline:  []MutationSpec{{AtSec: 1}},
 		}}, http.StatusBadRequest, "exactly one"},
+		{"two-kinds", JobSpec{
+			Sweep:  &SweepSpec{Base: good},
+			Search: &SearchJobSpec{Base: good},
+		}, http.StatusBadRequest, "exactly one"},
+		{"search-bad-optimizer", JobSpec{Search: &SearchJobSpec{
+			Base: good, Optimizer: "gradient",
+		}}, http.StatusBadRequest, `unknown optimizer \"gradient\"`},
+		{"search-no-attack", JobSpec{Search: &SearchJobSpec{
+			Base: ScenarioSpec{
+				Topology:  good.Topology,
+				Workloads: []WorkloadSpec{{Kind: "longtcp", From: 0, To: 4}},
+			},
+		}}, http.StatusBadRequest, "no AttackSpec workload"},
+		{"search-bad-params", JobSpec{Search: &SearchJobSpec{Base: ScenarioSpec{
+			Topology: good.Topology,
+			Workloads: []WorkloadSpec{
+				{Kind: "attack", From: 4, To: 8, Params: map[string]float64{"dty": 1}},
+			},
+		}}}, http.StatusBadRequest, `unknown param \"dty\"`},
 	}
 	for _, tc := range cases {
 		code, body := postJSON(t, base+"/jobs", tc.spec)

@@ -14,13 +14,16 @@ import (
 )
 
 // JobSpec is the top-level submission body of POST /jobs: exactly one
-// of Scenario or Sweep.
+// of Scenario, Sweep or Search.
 type JobSpec struct {
 	// Scenario submits one scenario run, streamed and controllable.
 	Scenario *ScenarioSpec `json:"scenario,omitempty"`
 	// Sweep submits a scenario matrix; progress streams, control does
 	// not apply (cells are batch runs).
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Search submits an adversarial search: per-candidate progress
+	// streams as "candidate" events, control does not apply.
+	Search *SearchJobSpec `json:"search,omitempty"`
 
 	// StreamIntervalSec is the scenario job's segment step: the run
 	// advances in steps of at most this many simulated seconds, flushing
@@ -78,6 +81,29 @@ type SweepSpec struct {
 	Parallelism     int                 `json:"parallelism,omitempty"`
 }
 
+// SearchJobSpec is the JSON form of a netfence.SearchSpec: the
+// adversarial search over attack-parameter spaces, one optimizer run
+// per (defense × strategy) cell.
+type SearchJobSpec struct {
+	// Base is the scenario every candidate derives from; it must carry
+	// an "attack" workload.
+	Base ScenarioSpec `json:"base"`
+	// Defenses and Strategies pick the searched cells (empty = Base's
+	// defense × every registered strategy).
+	Defenses   []string `json:"defenses,omitempty"`
+	Strategies []string `json:"strategies,omitempty"`
+	// Optimizer is "grid" (default) or "anneal".
+	Optimizer string `json:"optimizer,omitempty"`
+	// Budget caps evaluated candidates per cell (0 = 24).
+	Budget int `json:"budget,omitempty"`
+	// Seed seeds the optimizer's candidate stream.
+	Seed uint64 `json:"seed,omitempty"`
+	// Nu is the Theorem-1 gate's assumed transport efficiency (0 = 0.5).
+	Nu float64 `json:"nu,omitempty"`
+	// Parallelism caps concurrent candidate simulations (0 = auto).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
 // NamedTimelineSpec is one entry of the sweep's timeline axis.
 type NamedTimelineSpec struct {
 	Name     string         `json:"name"`
@@ -130,6 +156,9 @@ type WorkloadSpec struct {
 	FileBytes int64 `json:"file_bytes,omitempty"`
 	// Strategy is the attack kind's registry name ("" = "flood").
 	Strategy string `json:"strategy,omitempty"`
+	// Params sets the attack strategy's tunable parameters by name
+	// (unknown keys or out-of-range values fail the submit).
+	Params map[string]float64 `json:"params,omitempty"`
 	// Level and Strategic configure requestflood.
 	Level     uint8 `json:"level,omitempty"`
 	Strategic bool  `json:"strategic,omitempty"`
@@ -272,9 +301,19 @@ func (w WorkloadSpec) build() (netfence.Workload, error) {
 	case "requestflood":
 		return netfence.RequestFlood{Senders: s, Group: w.Group, RateBps: w.RateBps, Level: w.Level, Strategic: w.Strategic}, nil
 	case "attack":
+		// Fail the submit, not the job, on a bad strategy name or
+		// parameter map — the same checks the scenario build would run.
+		name := w.Strategy
+		if name == "" {
+			name = "flood"
+		}
+		if _, _, err := netfence.ParseAttackSpec(netfence.FormatAttackSpec(name, w.Params)); err != nil {
+			return nil, err
+		}
 		return netfence.AttackSpec{
 			Strategy: w.Strategy, Senders: s, Group: w.Group,
 			RateBps: w.RateBps, ToColluders: w.ToColluders,
+			Params: w.Params,
 		}, nil
 	case "":
 		return nil, fmt.Errorf("workload: kind is required")
@@ -350,4 +389,23 @@ func (s SweepSpec) Sweep() (netfence.Sweep, error) {
 		})
 	}
 	return sw, nil
+}
+
+// Search converts the spec to a runnable netfence.SearchSpec (the
+// Progress and OnCandidate hooks are the job runner's to wire).
+func (s SearchJobSpec) Search() (netfence.SearchSpec, error) {
+	base, err := s.Base.Scenario()
+	if err != nil {
+		return netfence.SearchSpec{}, fmt.Errorf("base: %w", err)
+	}
+	return netfence.SearchSpec{
+		Base:        base,
+		Defenses:    s.Defenses,
+		Strategies:  s.Strategies,
+		Optimizer:   s.Optimizer,
+		Budget:      s.Budget,
+		Seed:        s.Seed,
+		Nu:          s.Nu,
+		Parallelism: s.Parallelism,
+	}, nil
 }

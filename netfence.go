@@ -139,15 +139,39 @@ type (
 	AttackController = attack.Controller
 	// OnOffOptions configures the "onoff-sync" strategy.
 	OnOffOptions = attack.OnOffOptions
+	// AttackParamSpec declares one tunable strategy parameter — the
+	// dimension surface the adversarial search optimizes over.
+	AttackParamSpec = attack.ParamSpec
 )
 
 // RegisterAttack makes a third-party attack strategy resolvable by name
 // in scenarios and sweeps. In-tree strategies ("flood", "onoff-sync",
-// "request-prio", "replay", "legacy-flood") are pre-registered.
-func RegisterAttack(name string, b AttackBuilder) { attack.Register(name, b) }
+// "request-prio", "replay", "legacy-flood") are pre-registered. The
+// optional params declare the strategy's tunable surface (validated on
+// build, searched by SearchSpec).
+func RegisterAttack(name string, b AttackBuilder, params ...AttackParamSpec) {
+	attack.Register(name, b, params...)
+}
 
 // Attacks returns the sorted names of every registered attack strategy.
 func Attacks() []string { return attack.Names() }
+
+// AttackParams returns a strategy's declared tunable parameters in
+// declaration order.
+func AttackParams(name string) ([]AttackParamSpec, error) { return attack.Params(name) }
+
+// ParseAttackSpec parses an attack option string — "name" or
+// "name:key=val,key=val" — into the canonical strategy name and its
+// validated parameter overrides.
+func ParseAttackSpec(s string) (name string, params map[string]float64, err error) {
+	return attack.ParseSpec(s)
+}
+
+// FormatAttackSpec renders a (strategy, params) pair canonically; it
+// round-trips with ParseAttackSpec.
+func FormatAttackSpec(name string, params map[string]float64) string {
+	return attack.FormatSpec(name, params)
+}
 
 // NewAttackStrategy resolves a registered strategy by name and
 // constructs it with the given options.

@@ -62,6 +62,12 @@ type Result struct {
 
 	// TimeseriesProbe: per-interval samples.
 	Series []Sample
+
+	// SearchTrace, on a result produced by an adversarial search (see
+	// SearchSpec), records the candidate sequence that led the optimizer
+	// to this configuration — provenance for the worst-found table. nil
+	// on directly-run scenarios.
+	SearchTrace []SearchStep
 }
 
 // FCTSummary condenses the flow-completion-time aggregate.

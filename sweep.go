@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 
 	"netfence/internal/attack"
@@ -46,10 +45,12 @@ type Sweep struct {
 	// DeployFraction (nil = just Base's Deployment). The incremental-
 	// deployment axis of the paper's "inside out" story.
 	DeployFractions []float64
-	// Attacks lists attack-strategy registry names to sweep: each cell
-	// re-targets every AttackSpec workload of the cell's scenario (from
-	// Base or BaseFor) at that strategy (nil = keep the workloads'
-	// declared strategies). The adaptive-adversary axis of §6.3.
+	// Attacks lists attack specs to sweep — registry names, optionally
+	// parameterized ("onoff-sync:on=1,off=4"): each cell re-targets
+	// every AttackSpec workload of the cell's scenario (from Base or
+	// BaseFor) at that strategy with those parameter overrides (nil =
+	// keep the workloads' declared strategies). The adaptive-adversary
+	// axis of §6.3.
 	Attacks []string
 	// Timelines lists named mutation timelines to sweep: each cell runs
 	// the scenario under that Timeline (nil = just Base's Timeline). The
@@ -190,8 +191,14 @@ func (sw Sweep) Scenarios() []Scenario {
 								}
 								attackSeg := ""
 								if sweepAttack {
-									sc.Workloads = retargetAttacks(sc.Workloads, atk)
-									attackSeg = fmt.Sprintf("/attack=%s", attack.Canonical(atk))
+									// Scenarios has no error return; an invalid spec keeps
+									// its raw canonical name here and fails in checkAttacks.
+									name, params, err := attack.ParseSpec(atk)
+									if err != nil {
+										name, params = attack.Canonical(atk), nil
+									}
+									sc.Workloads = retargetAttacks(sc.Workloads, name, params)
+									attackSeg = fmt.Sprintf("/attack=%s", attack.FormatSpec(name, params))
 								}
 								timelineSeg := ""
 								if sweepTimeline {
@@ -216,12 +223,14 @@ func (sw Sweep) Scenarios() []Scenario {
 }
 
 // retargetAttacks copies a workload list with every AttackSpec pointed
-// at the given strategy, leaving the input (shared with Base across
-// matrix cells) untouched. Strategy-specific Options only survive onto
-// cells of their own declared strategy — the same rule the defense axis
-// applies to Defense.Config — so a foreign strategy's cells build with
-// defaults instead of erroring on an option type they reject.
-func retargetAttacks(ws []Workload, strategy string) []Workload {
+// at the given strategy with the given parameter overrides, leaving the
+// input (shared with Base across matrix cells) untouched.
+// Strategy-specific Options and Params only survive onto cells of their
+// own declared strategy — the same rule the defense axis applies to
+// Defense.Config — so a foreign strategy's cells build with defaults
+// instead of erroring on an option type or param key they reject. Axis
+// params, when present, replace the workload's own.
+func retargetAttacks(ws []Workload, strategy string, params map[string]float64) []Workload {
 	out := make([]Workload, len(ws))
 	for i, w := range ws {
 		if as, ok := w.(AttackSpec); ok {
@@ -231,8 +240,12 @@ func retargetAttacks(ws []Workload, strategy string) []Workload {
 			}
 			if attack.Canonical(declared) != attack.Canonical(strategy) {
 				as.Options = nil
+				as.Params = nil
 			}
 			as.Strategy = strategy
+			if params != nil {
+				as.Params = params
+			}
 			out[i] = as
 			continue
 		}
@@ -312,8 +325,9 @@ func (sw Sweep) RunContext(ctx context.Context) ([]*Result, error) {
 func (sw Sweep) checkAttacks() error {
 	for i, a := range sw.Attacks {
 		if !attack.Registered(a) {
-			return fmt.Errorf("netfence: Sweep attack %q (index %d) is not a registered strategy (registered: %s)",
-				a, i, strings.Join(attack.Names(), ", "))
+			if _, _, err := attack.ParseSpec(a); err != nil {
+				return fmt.Errorf("netfence: Sweep attack %q (index %d): %w", a, i, err)
+			}
 		}
 	}
 	if len(sw.Attacks) == 0 {

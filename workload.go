@@ -390,6 +390,11 @@ type AttackSpec struct {
 	// Options configures the strategy (its registered options type,
 	// e.g. OnOffOptions for "onoff-sync"); nil selects defaults.
 	Options any
+	// Params sets the strategy's tunable parameters by name (its
+	// registered ParamSpecs; -list-attacks prints them). nil keeps every
+	// default. The adversarial search drives this field; unknown keys or
+	// out-of-range values fail the build with the strategy and key named.
+	Params map[string]float64
 }
 
 func (w AttackSpec) span() (string, int, int) {
@@ -417,9 +422,10 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 	// senders: each ticks on its own engine, so crafted traffic and
 	// feedback observation stay shard-local. The in-tree strategies keep
 	// no cross-sender mutable state — population-level choices derive
-	// from the shared clock and the workload-wide Attackers count — so
-	// splitting the population across controllers leaves every sender's
-	// behavior identical to the single-controller run. On the single
+	// from the shared clock, the workload-wide Attackers count and the
+	// workload-global sender Index — so splitting the population across
+	// controllers leaves every sender's behavior identical to the
+	// single-controller run. On the single
 	// engine this degenerates to exactly one controller, the historical
 	// path.
 	mkCtrl := func(eng *Engine) (*attack.Controller, error) {
@@ -436,6 +442,7 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 			PktSize: w.PktSize,
 			Env:     aenv,
 			Options: w.Options,
+			Params:  w.Params,
 		})
 		if err != nil {
 			return nil, err
@@ -465,7 +472,11 @@ func (w AttackSpec) attach(env *scenarioEnv) error {
 		flow := env.newFlow()
 		sink := transport.NewUDPSink(dstHost.Host, flow)
 		env.addMeter(dstHost, w.Group, idx, true, func() int64 { return int64(sink.Bytes) })
-		ctrl.AddSender(h.Host, dstHost.ID, flow)
+		// Index must be the sender's position in the workload list, not
+		// in its shard's controller: index-dependent strategies (the
+		// legacy_frac split) must make the same per-sender choice no
+		// matter how the population is partitioned.
+		ctrl.AddSender(h.Host, dstHost.ID, flow).Index = k
 	}
 	env.recordAttack(attack.Canonical(name))
 	var started []*attack.Controller
