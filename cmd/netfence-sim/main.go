@@ -101,6 +101,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -114,8 +117,8 @@ import (
 	"netfence/internal/attack"
 	"netfence/internal/defense"
 	"netfence/internal/exp"
+	"netfence/internal/obs"
 	"netfence/internal/server"
-	"netfence/internal/sim"
 )
 
 func main() {
@@ -127,7 +130,14 @@ func main() {
 		listDef  = flag.Bool("list-defenses", false, "list registered defense systems")
 		listTopo = flag.Bool("list-topologies", false, "list registered topologies")
 		listAtk  = flag.Bool("list-attacks", false, "list registered attack strategies")
+		listMet  = flag.Bool("list-metrics", false, "list the registered metric catalog (name, kind, plane, paper section, meaning)")
 		defenses = flag.String("defense", "", "comma-separated defense systems (default: the paper's lineup)")
+
+		metricsOut  = flag.String("metrics-out", "", "write the run's aggregated metrics as Prometheus text to this file (-exp, -sweep, -search, -trace)")
+		tracePath   = flag.String("trace", "", "write the flight-recorder packet trace of a single scenario cell to this file (use with -sweep and single-valued axes)")
+		traceFlows  = flag.Int("trace-flows", 8, "flows the flight recorder samples per traced run (deterministic seeded selection)")
+		traceFormat = flag.String("trace-format", "json", "trace output format: json (event array) | chrome (trace_event for chrome://tracing)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 
 		shards = flag.Int("shards", 1, "partition scenario topologies into this many per-AS shards, one engine per shard (1 = classic single engine; -1 = one shard per CPU). Applies to -sweep and the -bench-scale large/huge cells; the -exp figures drive the low-level API and stay single-engine")
 
@@ -195,6 +205,12 @@ func main() {
 	}
 	defer flushProfiles()
 
+	// Opt-in pprof surface, on an explicit mux so nothing else rides on
+	// http.DefaultServeMux. Works in every mode, -serve included.
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
+
 	if *list {
 		for _, r := range exp.Runners() {
 			fmt.Printf("%-18s %s\n", r.Name, r.Brief)
@@ -217,6 +233,10 @@ func main() {
 		listAttacks()
 		return
 	}
+	if *listMet {
+		listMetrics()
+		return
+	}
 	if *benchJSON {
 		if !runBenchJSON(*benchScale, *benchBase, *shards) {
 			flushProfiles()
@@ -235,9 +255,18 @@ func main() {
 		fatal(err)
 	}
 
+	if *tracePath != "" {
+		if !*sweep {
+			fatal(fmt.Errorf("-trace rides on the -sweep scenario cell; add -sweep (with single-valued axes)"))
+		}
+		runTraced(defenseList, *topoName, *seeds, *senders, *attacks, *bottleneck, *duration, *shards,
+			*tracePath, *traceFlows, *traceFormat, *metricsOut)
+		return
+	}
+
 	if *searchMode {
 		runSearch(defenseList, *topoName, *seeds, *senders, *attacks, *bottleneck, *duration, *parallel, *shards,
-			*searchBudget, *searchOpt, *searchSeed, *searchOut, *progress)
+			*searchBudget, *searchOpt, *searchSeed, *searchOut, *progress, *metricsOut)
 		return
 	}
 
@@ -246,7 +275,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel, *shards, *progress)
+		runSweep(defenseList, *topoName, *seeds, *senders, *deploy, attackList, *bottleneck, *duration, *parallel, *shards, *progress, *metricsOut)
 		return
 	}
 
@@ -255,6 +284,8 @@ func main() {
 		fatal(err)
 	}
 	sc.Systems = defenseList
+	meter := &netfence.Meter{}
+	sc.Meter = meter
 
 	var runners []exp.Runner
 	switch {
@@ -279,6 +310,144 @@ func main() {
 		res := r.Run(sc)
 		fmt.Println(res.Table())
 		fmt.Printf("(%s, scale=%s, %.1fs wall)\n\n", r.Name, sc.Name, time.Since(start).Seconds())
+	}
+	// The -exp figures drive the low-level API; the meter's event total
+	// is the metric they surface.
+	writeMetrics(*metricsOut, map[string]uint64{"sim_events_executed_total": meter.Total()})
+}
+
+// startPprof serves net/http/pprof on an explicit mux at addr.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "netfence-sim: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, mux) //nolint:errcheck — best-effort debug listener
+}
+
+// writeMetrics renders a metric map as Prometheus text to path;
+// empty path is a no-op.
+func writeMetrics(path string, counters map[string]uint64) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.RenderPrometheus(f, counters); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// listMetrics prints the registered metric catalog, generated from the
+// same registry the instrumentation compiles against.
+func listMetrics() {
+	for _, d := range netfence.Metrics() {
+		kind := "counter"
+		switch d.Kind {
+		case obs.Gauge:
+			kind = "gauge"
+		case obs.Histogram:
+			kind = "histogram"
+		}
+		plane := "deterministic"
+		if d.Runtime {
+			plane = "runtime"
+		}
+		fmt.Printf("%-32s %-9s %-13s %-7s %s\n", d.Name, kind, plane, d.Ref, d.Help)
+	}
+}
+
+// runTraced runs the collusion scenario as one instrumented cell with
+// the flight recorder on, prints the result, and writes the merged
+// trace (and optionally the metric snapshot, runtime plane included).
+func runTraced(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV string, bottleneck int64, durationSec, shards int, tracePath string, traceFlows int, format, metricsOut string) {
+	seedList, err := parseUints(seedsCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-seeds: %w", err))
+	}
+	popList, err := parseInts(sendersCSV)
+	if err != nil {
+		fatal(fmt.Errorf("-senders: %w", err))
+	}
+	attackList, err := parseAttacks(attacksCSV)
+	if err != nil {
+		fatal(err)
+	}
+	if len(seedList) != 1 || len(popList) != 1 || len(defenseList) > 1 || len(attackList) > 1 {
+		fatal(fmt.Errorf("-trace records exactly one cell: give single -seeds/-senders values and at most one -defense/-attack"))
+	}
+	def := "netfence"
+	if len(defenseList) == 1 {
+		def = defenseList[0]
+	}
+	meter := &netfence.Meter{}
+	sc := collusionBaseFor(strings.ToLower(strings.TrimSpace(topoName)), bottleneck, durationSec, shards, len(attackList) > 0)(popList[0])
+	sc.Name = "collusion-traced"
+	sc.Seed = seedList[0]
+	sc.Defense = netfence.Defense(def)
+	sc.TraceFlows = traceFlows
+	sc.Meter = meter
+	if len(attackList) == 1 {
+		name, params, err := netfence.ParseAttackSpec(attackList[0])
+		if err != nil {
+			fatal(err)
+		}
+		for i, w := range sc.Workloads {
+			if as, ok := w.(netfence.AttackSpec); ok {
+				as.Strategy, as.Params = name, params
+				sc.Workloads[i] = as
+			}
+		}
+	}
+	in, err := sc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	res := in.Run()
+	fmt.Println(res.String())
+
+	events := in.Trace()
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	switch format {
+	case "chrome":
+		err = obs.WriteChromeTrace(f, events)
+	case "json":
+		err = obs.WriteTraceJSON(f, events)
+	default:
+		f.Close()
+		fatal(fmt.Errorf("unknown -trace-format %q (json|chrome)", format))
+	}
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d events, %d sampled flows)\n", tracePath, len(events), traceFlows)
+
+	if metricsOut != "" {
+		agg := map[string]uint64{}
+		obs.MergeMap(agg, res.Counters)
+		obs.MergeMap(agg, in.RuntimeCounters())
+		writeMetrics(metricsOut, agg)
 	}
 }
 
@@ -318,7 +487,7 @@ func runServe(addr string, workers, queueDepth int) {
 // topology. Without -attack the attacker side is the classic static
 // colluder flood; with it, the attackers are driven by each listed
 // adaptive strategy in turn (the Sweep.Attacks axis).
-func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism, shards int, showProgress bool) {
+func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV string, attackList []string, bottleneck int64, durationSec, parallelism, shards int, showProgress bool, metricsOut string) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -340,11 +509,17 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 	// the registered-names message.
 	topoName = strings.ToLower(strings.TrimSpace(topoName))
 
+	meter := &netfence.Meter{}
+	baseFor := collusionBaseFor(topoName, bottleneck, durationSec, shards, len(attackList) > 0)
 	sw := netfence.Sweep{
 		Base: netfence.Scenario{Name: "collusion"},
 		// The role split depends on the population, so each population
 		// cell rebuilds the scenario through BaseFor.
-		BaseFor:         collusionBaseFor(topoName, bottleneck, durationSec, shards, len(attackList) > 0),
+		BaseFor: func(pop int) netfence.Scenario {
+			sc := baseFor(pop)
+			sc.Meter = meter
+			return sc
+		},
 		Defenses:        defenseList,
 		Populations:     popList,
 		DeployFractions: deployList,
@@ -376,6 +551,16 @@ func runSweep(defenseList []string, topoName, seedsCSV, sendersCSV, deployCSV st
 	if completed > 0 {
 		fmt.Print(netfence.FormatResults(results))
 		fmt.Printf("\n(%d/%d cells, %.1fs wall)\n", completed, len(results), time.Since(start).Seconds())
+	}
+	if metricsOut != "" {
+		agg := map[string]uint64{}
+		for _, r := range results {
+			if r != nil {
+				obs.MergeMap(agg, r.Counters)
+			}
+		}
+		agg["sim_events_executed_total"] = meter.Total()
+		writeMetrics(metricsOut, agg)
 	}
 	if err != nil {
 		fatal(err)
@@ -450,7 +635,7 @@ func collusionBaseFor(topoName string, bottleneck int64, durationSec, shards int
 // suppression. The worst-found table prints as text (and JSON with
 // -search-out); the run fails when NetFence falls below the Theorem-1
 // floor at a searched optimum.
-func runSearch(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV string, bottleneck int64, durationSec, parallelism, shards, budget int, optimizer string, searchSeed uint64, outPath string, showProgress bool) {
+func runSearch(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV string, bottleneck int64, durationSec, parallelism, shards, budget int, optimizer string, searchSeed uint64, outPath string, showProgress bool, metricsOut string) {
 	seedList, err := parseUints(seedsCSV)
 	if err != nil {
 		fatal(fmt.Errorf("-seeds: %w", err))
@@ -483,6 +668,8 @@ func runSearch(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV 
 	base := collusionBaseFor(strings.ToLower(strings.TrimSpace(topoName)), bottleneck, durationSec, shards, true)(popList[0])
 	base.Name = "collusion"
 	base.Seed = seedList[0]
+	meter := &netfence.Meter{}
+	base.Meter = meter
 
 	spec := netfence.SearchSpec{
 		Base:        base,
@@ -522,6 +709,7 @@ func runSearch(defenseList []string, topoName, seedsCSV, sendersCSV, attacksCSV 
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
+	writeMetrics(metricsOut, map[string]uint64{"sim_events_executed_total": meter.Total()})
 	if err := rep.Gate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flushProfiles()
@@ -649,6 +837,11 @@ type benchRow struct {
 	// CandidatesPerSec is set on the adversarial-search row only:
 	// evaluated attack configurations per wall second.
 	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
+	// Counters is the suite's metric snapshot (deterministic and
+	// runtime planes merged: drops by reason, per-shard event counts,
+	// handoff batches) on scenario-driven rows; nil on the figure rows,
+	// which drive the low-level API. The bench gate ignores it.
+	Counters map[string]uint64 `json:"counters,omitempty"`
 }
 
 type benchReport struct {
@@ -664,19 +857,22 @@ type benchReport struct {
 	Rows       []benchRow `json:"benchmarks"`
 }
 
-// timeSuite runs fn once, accounting wall time, simulator events and heap
-// allocations process-wide.
-func timeSuite(name, scale string, fn func()) benchRow {
+// timeSuite runs fn once, accounting wall time, heap allocations
+// (process-wide) and simulator events through a fresh per-suite Meter
+// handed to fn — so concurrent engines elsewhere in the process (or a
+// paused suite's leftovers) never leak into the row. fn may return a
+// metric snapshot to attach to the row.
+func timeSuite(name, scale string, fn func(m *netfence.Meter) map[string]uint64) benchRow {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	ev0 := sim.TotalExecuted()
+	meter := &netfence.Meter{}
 	start := time.Now()
-	fn()
+	counters := fn(meter)
 	wall := time.Since(start).Seconds()
-	events := sim.TotalExecuted() - ev0
+	events := meter.Total()
 	runtime.ReadMemStats(&m1)
-	row := benchRow{Name: name, Scale: scale, WallSeconds: wall, Events: events}
+	row := benchRow{Name: name, Scale: scale, WallSeconds: wall, Events: events, Counters: counters}
 	if wall > 0 {
 		row.EventsPer = float64(events) / wall
 	}
@@ -715,7 +911,7 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		}
 	}
 	// measure runs one suite, retrying over-budget results.
-	measure := func(name, scName string, fn func()) benchRow {
+	measure := func(name, scName string, fn func(m *netfence.Meter) map[string]uint64) benchRow {
 		row := timeSuite(name, scName, fn)
 		budget, gated := baseline[name]
 		for attempt := 0; gated && budget > 0 && row.WallSeconds > 1.25*budget && attempt < 2; attempt++ {
@@ -748,17 +944,25 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 			if err != nil {
 				fatal(err)
 			}
-			rep.Rows = append(rep.Rows, measure(name, sc.Name, func() { r.Run(sc) }))
+			rep.Rows = append(rep.Rows, measure(name, sc.Name, func(m *netfence.Meter) map[string]uint64 {
+				scm := sc
+				scm.Meter = m
+				r.Run(scm)
+				return nil
+			}))
 		}
 		if shards > 1 || shards == -1 {
 			n := displayShards(shards)
 			rep.Rows = append(rep.Rows, measure(fmt.Sprintf("collusion-shards%d", n), "tiny",
-				func() { runShardedSmoke(shards, n) }))
+				func(m *netfence.Meter) map[string]uint64 { return runShardedSmoke(shards, n, m) }))
 		}
 		// The adversarial-search row: throughput of the optimizer loop
 		// itself, in candidates per second.
 		evals := 0
-		searchRow := measure("search", "tiny", func() { evals = runSearchBench() })
+		searchRow := measure("search", "tiny", func(m *netfence.Meter) map[string]uint64 {
+			evals = runSearchBench(m)
+			return nil
+		})
 		if searchRow.WallSeconds > 0 {
 			searchRow.CandidatesPerSec = float64(evals) / searchRow.WallSeconds
 		}
@@ -775,12 +979,12 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		if scale == "huge" {
 			cell = runHugeCell
 		}
-		single := measure("random-as-"+scale, scale, func() { cell(1) })
+		single := measure("random-as-"+scale, scale, func(m *netfence.Meter) map[string]uint64 { return cell(1, m) })
 		rep.Rows = append(rep.Rows, single)
 		if shards > 1 || shards == -1 {
 			n := displayShards(shards)
 			sharded := measure(fmt.Sprintf("random-as-%s-shards%d", scale, n), scale,
-				func() { cell(shards) })
+				func(m *netfence.Meter) map[string]uint64 { return cell(shards, m) })
 			rep.Rows = append(rep.Rows, sharded)
 			if sharded.WallSeconds > 0 && single.WallSeconds > 0 {
 				fmt.Fprintf(os.Stderr, "sharded speedup (%s, %d shards): %.2fx wall, %.2fx events/sec\n",
@@ -831,10 +1035,10 @@ func displayShards(shards int) int {
 // mid-size dumbbell, partitioned — small enough for the bench smoke
 // step, big enough that the mailbox handoff and window barriers carry
 // real traffic.
-func runShardedSmoke(shards, label int) {
+func runShardedSmoke(shards, label int, m *netfence.Meter) map[string]uint64 {
 	const pop = 128
 	users := pop / 4
-	res, err := netfence.Scenario{
+	return runBenchScenario(netfence.Scenario{
 		Name:     fmt.Sprintf("collusion-shards%d", label),
 		Seed:     1,
 		Topology: netfence.DumbbellSpec{Senders: pop, BottleneckBps: pop * 100_000, ColluderASes: 9},
@@ -846,20 +1050,35 @@ func runShardedSmoke(shards, label int) {
 		Duration: 20 * netfence.Second,
 		Warmup:   10 * netfence.Second,
 		Shards:   shards,
-	}.Run()
+		Meter:    m,
+	})
+}
+
+// runBenchScenario drives one scenario-driven bench cell and returns
+// its merged metric snapshot: the deterministic plane from the Result
+// plus the runtime plane (per-shard event counts, handoff batches).
+func runBenchScenario(sc netfence.Scenario) map[string]uint64 {
+	in, err := sc.Build()
 	if err != nil {
 		fatal(err)
 	}
+	res := in.Run()
 	fmt.Fprintln(os.Stderr, res.String())
+	counters := map[string]uint64{}
+	obs.MergeMap(counters, res.Counters)
+	obs.MergeMap(counters, in.RuntimeCounters())
+	return counters
 }
 
 // runSearchBench is the adversarial-search bench cell: a small
 // annealed search (two strategies against TVA+ on the collusion
 // dumbbell), returning the number of evaluated candidates so the row
 // can report candidates/sec.
-func runSearchBench() int {
+func runSearchBench(m *netfence.Meter) int {
+	base := collusionBaseFor("", 4_000_000, 40, 1, true)(20)
+	base.Meter = m
 	rep, err := netfence.SearchSpec{
-		Base:       collusionBaseFor("", 4_000_000, 40, 1, true)(20),
+		Base:       base,
 		Defenses:   []string{"tva"},
 		Strategies: []string{"flood", "onoff-sync"},
 		Optimizer:  "anneal",
@@ -881,10 +1100,10 @@ func runSearchBench() int {
 // long-running TCP users, 75% flooding attackers) over the random-as
 // transit core, NetFence fully deployed, partitioned into the given
 // number of per-AS shards (1 = the classic single engine).
-func runLargeCell(shards int) {
+func runLargeCell(shards int, m *netfence.Meter) map[string]uint64 {
 	const pop = 10_240
 	users := pop / 4
-	res, err := netfence.Scenario{
+	return runBenchScenario(netfence.Scenario{
 		Name: "random-as-large",
 		Seed: 1,
 		Topology: netfence.RandomASSpec{
@@ -905,11 +1124,8 @@ func runLargeCell(shards int) {
 		Duration: 20 * netfence.Second,
 		Warmup:   10 * netfence.Second,
 		Shards:   shards,
-	}.Run()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintln(os.Stderr, res.String())
+		Meter:    m,
+	})
 }
 
 // runHugeCell is the huge bench scenario: 65,536 senders over a larger
@@ -919,10 +1135,10 @@ func runLargeCell(shards int) {
 // tables stay small thanks to stub compression; the per-AS shard count
 // (64 source ASes, 8 transit ASes) leaves the partitioner room up to
 // dozens of shards.
-func runHugeCell(shards int) {
+func runHugeCell(shards int, m *netfence.Meter) map[string]uint64 {
 	const pop = 65_536
 	users := pop / 4
-	res, err := netfence.Scenario{
+	return runBenchScenario(netfence.Scenario{
 		Name: "random-as-huge",
 		Seed: 1,
 		Topology: netfence.RandomASSpec{
@@ -941,11 +1157,8 @@ func runHugeCell(shards int) {
 		Duration: 10 * netfence.Second,
 		Warmup:   5 * netfence.Second,
 		Shards:   shards,
-	}.Run()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintln(os.Stderr, res.String())
+		Meter:    m,
+	})
 }
 
 // profileFinalizers chains the -cpuprofile/-memprofile teardown;

@@ -15,6 +15,7 @@ import (
 type DropTail struct {
 	q     queue.Ring
 	bytes int
+	hwm   int
 	limit int
 	stats queue.Stats
 }
@@ -34,6 +35,9 @@ func (d *DropTail) Enqueue(p *packet.Packet, now sim.Time) bool {
 	p.EnqueuedAt = now
 	d.q.Push(p)
 	d.bytes += int(p.Size)
+	if d.bytes > d.hwm {
+		d.hwm = d.bytes
+	}
 	d.stats.Enqueued++
 	return true
 }
@@ -58,3 +62,9 @@ func (d *DropTail) Bytes() int { return d.bytes }
 
 // Stats returns cumulative counters.
 func (d *DropTail) Stats() queue.Stats { return d.stats }
+
+// HighWater returns the highest backlog in bytes the queue reached.
+func (d *DropTail) HighWater() int { return d.hwm }
+
+// LastDropReason reports why the last Enqueue refused a packet.
+func (d *DropTail) LastDropReason() string { return "tail" }

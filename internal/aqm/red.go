@@ -54,10 +54,13 @@ type RED struct {
 	rng   *rand.Rand
 	q     queue.Ring
 	bytes int
+	hwm   int
 	avg   float64
 	count int // packets since last early drop
 	idleA sim.Time
 	stats queue.Stats
+	// lastDrop distinguishes hard-limit from early drops in traces.
+	lastDrop string
 
 	// lastCongested is the most recent instant the average queue crossed
 	// MinThresh or a packet was dropped; bottleneck routers derive the
@@ -78,8 +81,10 @@ func (r *RED) Enqueue(p *packet.Packet, now sim.Time) bool {
 	switch {
 	case r.bytes+int(p.Size) > r.cfg.LimitBytes:
 		drop = true // hard limit
+		r.lastDrop = "red-limit"
 	case r.avg >= float64(r.cfg.MaxThresh):
 		drop = true
+		r.lastDrop = "red-early"
 	case r.avg >= float64(r.cfg.MinThresh):
 		pb := r.cfg.MaxP * (r.avg - float64(r.cfg.MinThresh)) /
 			float64(r.cfg.MaxThresh-r.cfg.MinThresh)
@@ -89,6 +94,7 @@ func (r *RED) Enqueue(p *packet.Packet, now sim.Time) bool {
 		}
 		if r.rng.Float64() < pa {
 			drop = true
+			r.lastDrop = "red-early"
 		} else {
 			r.count++
 		}
@@ -108,6 +114,9 @@ func (r *RED) Enqueue(p *packet.Packet, now sim.Time) bool {
 	p.EnqueuedAt = now
 	r.q.Push(p)
 	r.bytes += int(p.Size)
+	if r.bytes > r.hwm {
+		r.hwm = r.bytes
+	}
 	r.stats.Enqueued++
 	return true
 }
@@ -161,3 +170,9 @@ func (r *RED) Congested() bool { return r.avg >= float64(r.cfg.MinThresh) }
 // LastCongested returns the most recent congestion instant and whether
 // congestion has ever been observed.
 func (r *RED) LastCongested() (sim.Time, bool) { return r.lastCongested, r.congestedSeen }
+
+// HighWater returns the highest backlog in bytes the queue reached.
+func (r *RED) HighWater() int { return r.hwm }
+
+// LastDropReason reports why the last Enqueue refused a packet.
+func (r *RED) LastDropReason() string { return r.lastDrop }

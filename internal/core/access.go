@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strconv"
+
 	"netfence/internal/cmac"
 	"netfence/internal/feedback"
 	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/ratelimit"
 	"netfence/internal/sim"
@@ -92,6 +95,9 @@ func (s *System) ProtectAccess(r *netsim.Node) {
 	ar.ring.Material = r.Network().Eng.KeyStream(uint64(r.ID))
 	r.Network().Eng.Tick(s.Cfg.KeyRotate, func() {
 		ar.ring.Rotate(r.Network().Eng.Rand)
+		// Runtime plane: rotation timers are replicated on every shard,
+		// so the count scales with the shard layout by design.
+		r.Network().Cells.Add(obs.CoreKeyringRotations, 1)
 	})
 	r.Ingress = ar.ingress
 	s.accesses[r.ID] = ar
@@ -121,6 +127,14 @@ func (ar *AccessRouter) ingress(p *packet.Packet, from *netsim.Link) bool {
 	return ar.police(p)
 }
 
+// trace records one policing hop for a sampled flow.
+func (ar *AccessRouter) trace(p *packet.Packet, kind, detail string) {
+	net := ar.node.Network()
+	if net.Rec.Sampled(uint32(p.Flow)) {
+		net.Rec.Record(int64(net.Eng.Now()), uint32(p.Flow), ar.node.String(), kind, detail)
+	}
+}
+
 // police implements router.rate_limit_packet of Figure 18.
 func (ar *AccessRouter) police(p *packet.Packet) bool {
 	if p.Kind == packet.KindLegacy {
@@ -132,13 +146,17 @@ func (ar *AccessRouter) police(p *packet.Packet) bool {
 	if ar.sys.Cfg.MultiFeedback {
 		return ar.policeMulti(p)
 	}
+	cells := ar.node.Network().Cells
 	nowSec := ar.node.Network().NowSec()
 	switch feedback.Validate(ar.ring, ar.kaiLookup, p, nowSec, ar.sys.Cfg.WSec) {
 	case feedback.ValidNop:
 		feedback.StampNop(ar.ring.Current(), p, nowSec)
+		cells.Add(obs.CoreStampNop, 1)
+		ar.trace(p, obs.HopPolice, "nop")
 		ar.stampPassport(p)
 		return true
 	case feedback.ValidMon:
+		ar.trace(p, obs.HopPolice, "mon")
 		link := p.FB.Link
 		if ar.sys.Cfg.InferLimiters {
 			return ar.policeInferred(p, link)
@@ -149,6 +167,8 @@ func (ar *AccessRouter) police(p *packet.Packet) bool {
 	default:
 		// Invalid feedback: treat as a request packet (§4.4).
 		ar.Demoted++
+		cells.Add(obs.CorePoliceDemoted, 1)
+		ar.trace(p, obs.HopDemote, "invalid-feedback->request")
 		p.Kind = packet.KindRequest
 		p.Prio = 0
 		return ar.handleRequest(p)
@@ -171,10 +191,14 @@ func (ar *AccessRouter) handleRequest(p *packet.Packet) bool {
 	}
 	if !rl.Admit(p.Prio, now) {
 		ar.ReqDropped++
+		ar.node.Network().Cells.Add(obs.CoreRequestDropped, 1)
+		ar.trace(p, obs.HopDrop, "request-police")
 		ar.node.Network().Release(p)
 		return false
 	}
 	ar.ReqAdmitted++
+	ar.node.Network().Cells.Add(obs.CoreRequestAdmitted, 1)
+	ar.trace(p, obs.HopPolice, "request admit prio="+strconv.Itoa(int(p.Prio)))
 	if ar.sys.Cfg.MultiFeedback {
 		ar.stampMultiNop(p)
 	} else {
@@ -196,18 +220,23 @@ func (ar *AccessRouter) submit(lim *regLimiter, p *packet.Packet) bool {
 		// Congestion quota spent (§7): the sender has pushed too much
 		// traffic through this bottleneck while congesting it.
 		ar.QuotaDrops++
+		ar.node.Network().Cells.Add(obs.CoreQuotaDrop, 1)
+		ar.trace(p, obs.HopDrop, "quota")
 		ar.node.Network().Release(p)
 		return false
 	}
 	switch lim.pol.Submit(p) {
 	case ratelimit.Pass:
 		ar.LimiterPass++
+		ar.node.Network().Cells.Add(obs.CoreLimiterPass, 1)
 		lim.stampForward(p)
 		return true
 	case ratelimit.Cached:
 		return false // the limiter now owns the packet and forwards it later
 	default:
 		ar.LimiterDrops++
+		ar.node.Network().Cells.Add(obs.CoreLimiterDrop, 1)
+		ar.trace(p, obs.HopDrop, "rate-limiter")
 		ar.node.Network().Release(p)
 		return false
 	}
@@ -241,6 +270,7 @@ func (l *regLimiter) stampForward(p *packet.Packet) {
 	} else {
 		nowSec := ar.node.Network().NowSec()
 		feedback.StampIncr(ar.ring.Current(), p, nowSec, l.key.link)
+		ar.node.Network().Cells.Add(obs.CoreStampIncr, 1)
 	}
 	ar.stampPassport(p)
 }

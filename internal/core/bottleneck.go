@@ -4,6 +4,7 @@ import (
 	"netfence/internal/aqm"
 	"netfence/internal/feedback"
 	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/queue"
 	"netfence/internal/sim"
@@ -41,6 +42,9 @@ func (s *System) protect(l *netsim.Link) *Bottleneck {
 		det:  &aqm.LossDetector{Pth: s.Cfg.Pth, Alpha: 0.1},
 	}
 	b.q.release = l.From.Network().Release
+	b.q.cells = l.From.Network().Cells
+	b.q.net = l.From.Network()
+	b.q.label = l.Label()
 	if s.Cfg.UtilDetect {
 		b.util = aqm.NewUtilDetector(l.Rate)
 		b.util.Threshold = s.Cfg.UtilThreshold
@@ -76,6 +80,7 @@ func (b *Bottleneck) StartMonitoring() {
 		b.monActive = true
 		b.monStarted = now
 		b.MonCycles++
+		b.link.From.Network().Cells.Add(obs.CoreMonitorUp, 1)
 	}
 	b.lastAttack = now
 }
@@ -98,6 +103,7 @@ func (b *Bottleneck) detectTick() {
 			b.monActive = true
 			b.monStarted = now
 			b.MonCycles++
+			b.link.From.Network().Cells.Add(obs.CoreMonitorUp, 1)
 		}
 		b.lastAttack = now
 		if b.sys.Cfg.PerASFallback && !b.q.fallbackActive() &&
@@ -106,9 +112,11 @@ func (b *Bottleneck) detectTick() {
 			// malfunctioning (compromised) access routers. Localize the
 			// damage with per-source-AS queuing.
 			b.q.enableFallback(now, b.link.From.Network().Eng.Now)
+			b.link.From.Network().Cells.Add(obs.CoreFallbackEngaged, 1)
 		}
 	} else if b.monActive && now-b.lastAttack > b.sys.Cfg.MonitorHold {
 		b.monActive = false
+		b.link.From.Network().Cells.Add(obs.CoreMonitorDown, 1)
 	}
 }
 
@@ -137,7 +145,12 @@ func (b *Bottleneck) overloadedFor(p *packet.Packet, now sim.Time) bool {
 // onTransmit updates the congestion policing feedback of packets leaving
 // through the monitored link, applying the ordered rules of §4.3.2.
 func (b *Bottleneck) onTransmit(p *packet.Packet, l *netsim.Link) {
+	net := l.From.Network()
+	sampled := net.Rec.Sampled(uint32(p.Flow))
 	if !b.monActive || p.Kind == packet.KindLegacy {
+		if sampled {
+			net.Rec.Record(int64(net.Eng.Now()), uint32(p.Flow), l.Label(), obs.HopMonitor, "idle")
+		}
 		return
 	}
 	now := l.From.Network().Eng.Now()
@@ -150,9 +163,15 @@ func (b *Bottleneck) onTransmit(p *packet.Packet, l *netsim.Link) {
 		// Rule 1: nop is always replaced by L-down in the mon state.
 	case p.FB.Action == packet.ActDecr:
 		// Rule 2: never overwrite an upstream link's L-down.
+		if sampled {
+			net.Rec.Record(int64(now), uint32(p.Flow), l.Label(), obs.HopMonitor, "mon keep-upstream-decr")
+		}
 		return
 	case !b.overloadedFor(p, now):
 		// Rule 3 negative: leave L-up feedback alone.
+		if sampled {
+			net.Rec.Record(int64(now), uint32(p.Flow), l.Label(), obs.HopMonitor, "mon keep-lup")
+		}
 		return
 	}
 	kai := b.sys.kaiForSender(p.SrcAS, l.From.AS)
@@ -160,4 +179,8 @@ func (b *Bottleneck) onTransmit(p *packet.Packet, l *netsim.Link) {
 		return
 	}
 	feedback.StampDecr(kai, p, l.ID)
+	net.Cells.Add(obs.CoreStampDecr, 1)
+	if sampled {
+		net.Rec.Record(int64(now), uint32(p.Flow), l.Label(), obs.HopMonitor, "mon stamp-decr")
+	}
 }

@@ -5,6 +5,8 @@ import (
 
 	"netfence/internal/aqm"
 	"netfence/internal/fq"
+	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/queue"
 	"netfence/internal/sim"
@@ -57,6 +59,16 @@ type nfQueue struct {
 	// release recycles packets the queue drops internally (displaced
 	// request-channel victims); nil leaves them to the garbage collector.
 	release func(p *packet.Packet)
+
+	// cells is the observability counter store — the owning replica's
+	// shared cells once protect() wires the queue onto a link, a private
+	// scratch array for directly-constructed test queues.
+	cells obs.Cells
+	// net and label serve the flight recorder (nil net = untraced).
+	net      *netsim.Network
+	label    string
+	lastDrop string
+	hwm      int
 }
 
 func newNFQueue(cfg *Config, rateBps int64, rng *rand.Rand) *nfQueue {
@@ -77,6 +89,7 @@ func newNFQueue(cfg *Config, rateBps int64, rng *rand.Rand) *nfQueue {
 		red:        aqm.NewRED(redCfg, rng),
 		fbLimit:    redCfg.LimitBytes,
 		legacy:     aqm.NewDropTail(redCfg.LimitBytes / 10),
+		cells:      obs.NewCells(),
 	}
 	q.credit = q.creditMax
 	return q
@@ -96,6 +109,10 @@ func (q *nfQueue) enableFallback(now sim.Time, clock func() sim.Time) {
 		t := q.fbClock()
 		q.fbLastDrop = t
 		q.fbDropByAS[p.SrcAS] = t
+		q.cells.Add(obs.QueueDropRegular, 1)
+		if q.net != nil && q.net.Rec.Sampled(uint32(p.Flow)) {
+			q.net.Rec.Record(int64(t), uint32(p.Flow), q.label, obs.HopDrop, "fq-evict")
+		}
 	}
 	for {
 		p, _ := q.red.Dequeue(now)
@@ -116,8 +133,22 @@ func (q *nfQueue) lastCongestedForAS(as packet.ASID) (sim.Time, bool) {
 // fallbackActive reports whether per-AS queuing is engaged.
 func (q *nfQueue) fallbackActive() bool { return q.fallback != nil }
 
-// Enqueue routes the packet to its channel.
+// Enqueue routes the packet to its channel, keeping the backlog
+// histogram and high-water mark on admission.
 func (q *nfQueue) Enqueue(p *packet.Packet, now sim.Time) bool {
+	ok := q.enqueue(p, now)
+	if ok {
+		b := q.Bytes()
+		q.cells.ObserveBacklog(uint64(b))
+		if b > q.hwm {
+			q.hwm = b
+		}
+	}
+	return ok
+}
+
+// enqueue routes the packet to its channel.
+func (q *nfQueue) enqueue(p *packet.Packet, now sim.Time) bool {
 	// §4.4 demotion: a "regular" packet that no access router ever
 	// stamped carries no verifiable congestion policing feedback.
 	// Senders in legacy (non-deploying) ASes bypass policing entirely,
@@ -131,12 +162,18 @@ func (q *nfQueue) Enqueue(p *packet.Packet, now sim.Time) bool {
 	// false demotion needs both truncated MACs to be zero (~2^-64).
 	if p.Kind == packet.KindRegular && p.FB == (packet.Feedback{}) && !p.MFB.Present {
 		p.Kind = packet.KindLegacy
+		q.cells.Add(obs.CoreDemotedLegacy, 1)
+		if q.net != nil && q.net.Rec.Sampled(uint32(p.Flow)) {
+			q.net.Rec.Record(int64(now), uint32(p.Flow), q.label, obs.HopDemote, "unstamped-regular->legacy")
+		}
 	}
 	// Legacy traffic carries no Passport trailer either: skip source
 	// authentication; it rides the best-effort channel regardless.
 	legacy := p.Kind != packet.KindRequest && p.Kind != packet.KindRegular
 	if !legacy && q.verify != nil && !q.verify(p) {
 		q.verifyFails++
+		q.cells.Add(obs.CoreMACFail, 1)
+		q.lastDrop = "mac-fail"
 		return false
 	}
 	switch p.Kind {
@@ -147,12 +184,23 @@ func (q *nfQueue) Enqueue(p *packet.Packet, now sim.Time) bool {
 			ok := q.fallback.Enqueue(p, now)
 			if !ok {
 				q.fbLastDrop = now
+				q.lastDrop = "fq-full"
 			}
 			return ok
 		}
-		return q.red.Enqueue(p, now)
+		ok := q.red.Enqueue(p, now)
+		if !ok {
+			q.cells.Add(obs.QueueDropRegular, 1)
+			q.lastDrop = q.red.LastDropReason()
+		}
+		return ok
 	default:
-		return q.legacy.Enqueue(p, now)
+		ok := q.legacy.Enqueue(p, now)
+		if !ok {
+			q.cells.Add(obs.QueueDropLegacy, 1)
+			q.lastDrop = "tail"
+		}
+		return ok
 	}
 }
 
@@ -175,12 +223,18 @@ func (q *nfQueue) enqueueRequest(p *packet.Packet, now sim.Time) bool {
 		if low < 0 {
 			q.reqStats.Dropped++
 			q.reqStats.DroppedBytes += uint64(p.Size)
+			q.cells.Add(obs.QueueDropRequest, 1)
+			q.lastDrop = "request-full"
 			return false
 		}
 		victim := q.req[low].PopTail()
 		q.reqBytes -= int(victim.Size)
 		q.reqStats.Dropped++
 		q.reqStats.DroppedBytes += uint64(victim.Size)
+		q.cells.Add(obs.QueueDropRequest, 1)
+		if q.net != nil && q.net.Rec.Sampled(uint32(victim.Flow)) {
+			q.net.Rec.Record(int64(now), uint32(victim.Flow), q.label, obs.HopDrop, "request-evict")
+		}
 		if q.release != nil {
 			q.release(victim)
 		}
@@ -313,6 +367,13 @@ func (q *nfQueue) RegularStats() queue.Stats {
 
 // RequestStats returns the request channel's counters.
 func (q *nfQueue) RequestStats() queue.Stats { return q.reqStats }
+
+// HighWater returns the highest total backlog in bytes the queue
+// reached.
+func (q *nfQueue) HighWater() int { return q.hwm }
+
+// LastDropReason reports why the last Enqueue refused a packet.
+func (q *nfQueue) LastDropReason() string { return q.lastDrop }
 
 // lastCongested reports the most recent congestion instant of the
 // regular channel.

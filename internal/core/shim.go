@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strconv"
+
 	"netfence/internal/defense"
 	"netfence/internal/feedback"
 	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
 )
@@ -135,6 +138,7 @@ func (sh *HostShim) Egress(p *packet.Packet) {
 		p.Prio = sh.sys.Cfg.AffordableLevel(now - start)
 		p.FB = packet.Feedback{}
 		p.MFB = packet.MultiHeader{}
+		sh.noteRequest(p, now)
 		return
 	}
 	delete(sh.flowStart, p.Flow)
@@ -144,12 +148,14 @@ func (sh *HostShim) Egress(p *packet.Packet) {
 			p.MFB = ps.presentedM
 			p.Kind = packet.KindRegular
 			ps.hasReqSince = false
+			sh.traceHop(p, now, "regular")
 			return
 		}
 	} else if ps.hasPresented && sh.fresh(ps.presented.TS) {
 		p.FB = ps.presented
 		p.Kind = packet.KindRegular
 		ps.hasReqSince = false
+		sh.traceHop(p, now, "regular")
 		return
 	}
 	// No valid feedback in hand: the packet can only travel the request
@@ -164,6 +170,30 @@ func (sh *HostShim) Egress(p *packet.Packet) {
 	p.Prio = sh.sys.Cfg.AffordableLevel(now - ps.reqSince)
 	p.FB = packet.Feedback{}
 	p.MFB = packet.MultiHeader{}
+	sh.noteRequest(p, now)
+}
+
+// noteRequest accounts a request-channel departure: an escalated priority
+// means the sender has been waiting for admission (§4.2), the signal the
+// escalation counter tracks.
+func (sh *HostShim) noteRequest(p *packet.Packet, now sim.Time) {
+	net := sh.host.Network()
+	if p.Prio > 0 {
+		net.Cells.Add(obs.CoreEscalation, 1)
+	}
+	if net.Rec.Sampled(uint32(p.Flow)) {
+		net.Rec.Record(int64(now), uint32(p.Flow), sh.host.Node.String(),
+			obs.HopShim, "request prio="+strconv.Itoa(int(p.Prio)))
+	}
+}
+
+// traceHop records a shim-stamp hop for sampled flows.
+func (sh *HostShim) traceHop(p *packet.Packet, now sim.Time, detail string) {
+	net := sh.host.Network()
+	if net.Rec.Sampled(uint32(p.Flow)) {
+		net.Rec.Record(int64(now), uint32(p.Flow), sh.host.Node.String(),
+			obs.HopShim, detail)
+	}
 }
 
 // Ingress records feedback from an incoming packet and applies the

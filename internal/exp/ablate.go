@@ -39,7 +39,7 @@ func AblateHysteresis(sc Scale) Result {
 }
 
 func ablateHystCell(sc Scale, hysteresis int) (atkBps, userBps, fairBps float64) {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const bottleneck = 800_000
 	cfg := topo.DefaultDumbbell(2, bottleneck)
 	cfg.ColluderASes = 1
@@ -95,7 +95,7 @@ func AblateBucket(sc Scale) Result {
 }
 
 func ablateBucketCell(sc Scale, token bool) (userBps, atkBps float64, drops uint64) {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const bottleneck = 800_000
 	cfg := topo.DefaultDumbbell(4, bottleneck)
 	cfg.ColluderASes = 1
@@ -166,7 +166,7 @@ func AblateQuota(sc Scale) Result {
 }
 
 func ablateQuotaCell(sc Scale, quota int64) (userFCT sim.Time, atkBps float64, quotaDrops uint64) {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const bottleneck = 400_000
 	cfg := topo.DefaultDumbbell(2, bottleneck)
 	cfg.ColluderASes = 1
@@ -230,7 +230,7 @@ func AblateInitRate(sc Scale) Result {
 }
 
 func ablateInitCell(sc Scale, initBps int64) (userBps, atkBps float64) {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const bottleneck = 400_000
 	cfg := topo.DefaultDumbbell(2, bottleneck)
 	cfg.ColluderASes = 1

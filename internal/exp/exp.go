@@ -44,6 +44,19 @@ type Scale struct {
 	// named defense systems (defense-registry names); empty keeps the
 	// paper's full lineup.
 	Systems []string
+	// Meter, when set, accumulates executed-event counts from every
+	// engine the experiment creates — per-invocation, so concurrent
+	// experiment runs never share a counter.
+	Meter *sim.Meter
+}
+
+// attach wires the scale's meter (if any) onto a freshly created
+// engine; every runner cell calls it right after sim.New.
+func (sc Scale) attach(eng *sim.Engine) *sim.Engine {
+	if sc.Meter != nil {
+		eng.AttachMeter(sc.Meter)
+	}
+	return eng
 }
 
 // The three standard scales.

@@ -87,7 +87,7 @@ type fig10Out struct {
 }
 
 func fig10Cell(sc Scale, mode Mode, l1, l2 int64) fig10Out {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	cfg := topo.DefaultParkingLot(sc.PLGroup, l1, l2)
 	pl := topo.NewParkingLot(eng, cfg)
 	nfCfg := core.DefaultConfig()
@@ -190,7 +190,7 @@ func Localize(sc Scale) Result {
 }
 
 func localizeCell(sc Scale, fallback bool) (honestBps, rogueBps float64, engaged bool) {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const bottleneck = 2_000_000
 	cfg := topo.DefaultDumbbell(2, bottleneck)
 	cfg.ColluderASes = 1

@@ -41,7 +41,7 @@ func Fig11(sc Scale) Result {
 }
 
 func fig11Cell(sc Scale, ton, toff sim.Time) float64 {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const label = 100_000 // 100 kbps fair share
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)

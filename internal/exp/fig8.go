@@ -67,7 +67,7 @@ func fig8Roles(d *topo.Dumbbell, hostsPerAS int) (legit, attackers []*netsim.Nod
 }
 
 func fig8Cell(sc Scale, label int, kind SystemKind) *metrics.FCT {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
 	d := topo.NewDumbbell(eng, cfg)

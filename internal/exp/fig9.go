@@ -78,7 +78,7 @@ func fig9Cell(sc Scale, label int, kind SystemKind, web bool) fig9Out {
 // the source ASes run the defense; the rest pass traffic undefended.
 // The incremental-deployment experiment sweeps this knob.
 func fig9CellDeploy(sc Scale, label int, kind SystemKind, web bool, deployFrac float64) fig9Out {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
 	cfg.ColluderASes = 9

@@ -65,7 +65,7 @@ func Strategic(sc Scale) Result {
 // parameters (nil = the hand-written defaults) — the worst-case
 // search's evaluation surface.
 func strategicCell(sc Scale, label int, kind SystemKind, stratName string, params map[string]float64) fig9Out {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)
 	cfg.ColluderASes = 9

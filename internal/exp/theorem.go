@@ -73,7 +73,7 @@ type theoremOut struct {
 }
 
 func theoremCell(sc Scale, ton, toff sim.Time) theoremOut {
-	eng := sim.New(sc.Seed)
+	eng := sc.attach(sim.New(sc.Seed))
 	const label = 100_000
 	bottleneck := sc.BottleneckBps(label)
 	cfg := topo.DefaultDumbbell(sc.Senders, bottleneck)

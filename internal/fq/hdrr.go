@@ -24,6 +24,7 @@ type HDRR struct {
 	classes   map[uint64]*hdrrClass
 	active    []*hdrrClass
 	bytes     int
+	hwm       int
 	stats     queue.Stats
 	flowCount int
 }
@@ -74,6 +75,9 @@ func (h *HDRR) Enqueue(p *packet.Packet, now sim.Time) bool {
 		return false
 	}
 	h.bytes += c.inner.Bytes() - before
+	if h.bytes > h.hwm {
+		h.hwm = h.bytes
+	}
 	h.stats.Enqueued++
 	if !c.active {
 		c.active = true
@@ -193,6 +197,12 @@ func (h *HDRR) Bytes() int { return h.bytes }
 
 // Stats returns cumulative counters.
 func (h *HDRR) Stats() queue.Stats { return h.stats }
+
+// HighWater returns the highest backlog in bytes the queue reached.
+func (h *HDRR) HighWater() int { return h.hwm }
+
+// LastDropReason reports why the last Enqueue refused a packet.
+func (h *HDRR) LastDropReason() string { return "fq-full" }
 
 // ClassCount returns the number of outer classes ever observed.
 func (h *HDRR) ClassCount() int { return len(h.classes) }

@@ -1,10 +1,18 @@
 package netsim
 
 import (
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/queue"
 	"netfence/internal/sim"
 )
+
+// DropReasoner is implemented by queue disciplines that remember why
+// the last Enqueue refused a packet; the flight recorder asks only on
+// sampled flows, so the lookup stays off the hot path.
+type DropReasoner interface {
+	LastDropReason() string
+}
 
 // Link is a unidirectional link: a queue followed by a transmitter with
 // serialization delay Size*8/Rate and propagation delay Delay. Replace Q
@@ -78,16 +86,30 @@ func (h *linkRetry) OnEvent(sim.Time, any) {
 // returns to the packet pool.
 func (l *Link) Send(p *packet.Packet) {
 	if !l.Q.Enqueue(p, l.net.Eng.Now()) {
+		l.net.Cells.Add(obs.NetsimDrops, 1)
+		if l.net.Rec.Sampled(uint32(p.Flow)) {
+			reason := ""
+			if dr, ok := l.Q.(DropReasoner); ok {
+				reason = dr.LastDropReason()
+			}
+			l.net.Rec.Record(int64(l.net.Eng.Now()), uint32(p.Flow), l.Label(), obs.HopDrop, reason)
+		}
 		if l.net.OnDrop != nil {
 			l.net.OnDrop(p, l)
 		}
 		l.net.Release(p)
 		return
 	}
+	if l.net.Rec.Sampled(uint32(p.Flow)) {
+		l.net.Rec.Record(int64(l.net.Eng.Now()), uint32(p.Flow), l.Label(), obs.HopEnqueue, "")
+	}
 	if !l.busy {
 		l.tryTransmit()
 	}
 }
+
+// Label names the link in traces: "from->to".
+func (l *Link) Label() string { return l.From.String() + "->" + l.To.String() }
 
 // tryTransmit pulls the next eligible packet from the queue and transmits
 // it. If the queue is backlogged but not yet eligible (rate-capped
@@ -123,6 +145,8 @@ func (l *Link) txDone(p *packet.Packet) {
 	l.busy = false
 	l.TxPackets++
 	l.TxBytes += uint64(p.Size)
+	l.net.Cells.Add(obs.NetsimTxPackets, 1)
+	l.net.Cells.Add(obs.NetsimTxBytes, uint64(p.Size))
 	now := l.net.Eng.Now()
 	if l.mailbox != nil {
 		// The handoff key is exactly what a local propagation event's

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
 )
@@ -51,6 +52,13 @@ func (m *Mailbox) Drain(deadline sim.Time) bool {
 	if len(m.pending) == 0 {
 		return false
 	}
+	// Runtime-plane accounting, written on the destination goroutine
+	// (the only side active after the barrier): handoff volume and the
+	// deepest batch any drain saw. Shard-layout-dependent by nature.
+	cells := m.destLink.net.Cells
+	cells.Add(obs.NetsimHandoffBatches, 1)
+	cells.Add(obs.NetsimHandoffPackets, uint64(len(m.pending)))
+	cells.SetMax(obs.NetsimMailboxDepthHWM, uint64(len(m.pending)))
 	eng := m.destLink.net.Eng
 	h := (*linkArrive)(m.destLink)
 	hit := false

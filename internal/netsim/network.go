@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/queue"
 	"netfence/internal/sim"
@@ -46,13 +47,23 @@ type Network struct {
 	// not retain it.
 	OnDrop func(p *packet.Packet, l *Link)
 
+	// Cells is the replica's observability counter store, allocated
+	// unconditionally so hot-path increments need no nil check. Each
+	// replica's cells are written only by its own engine goroutine.
+	Cells obs.Cells
+
+	// Rec, when set, is the replica's packet flight recorder. Nil by
+	// default: untraced runs pay exactly one nil comparison per
+	// instrumented site.
+	Rec *obs.Recorder
+
 	uid  uint64
 	flow uint32
 }
 
 // New returns an empty network driven by eng.
 func New(eng *sim.Engine) *Network {
-	return &Network{Eng: eng}
+	return &Network{Eng: eng, Cells: obs.NewCells()}
 }
 
 // NewNode adds a router node.
@@ -320,6 +331,10 @@ func (n *Network) arrive(p *packet.Packet, node *Node, l *Link) {
 		if node.Host != nil {
 			node.Host.Receive(p)
 		}
+		n.Cells.Add(obs.NetsimDelivered, 1)
+		if n.Rec.Sampled(uint32(p.Flow)) {
+			n.Rec.Record(int64(n.Eng.Now()), uint32(p.Flow), node.String(), obs.HopDeliver, "")
+		}
 		n.Release(p)
 		return
 	}
@@ -337,6 +352,11 @@ func (n *Network) NextFlow() packet.FlowID {
 	n.flow++
 	return packet.FlowID(n.flow)
 }
+
+// FlowSeq returns the flow-ID counter's position — after workload
+// attachment, the number of attach-time flows (the flight recorder's
+// sampling universe).
+func (n *Network) FlowSeq() uint32 { return n.flow }
 
 // SetFlowBase positions the flow-ID counter. Partitioned runs give each
 // shard replica a disjoint range after attachment so flows opened at

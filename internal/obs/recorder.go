@@ -1,0 +1,139 @@
+package obs
+
+import "sort"
+
+// TraceEvent is one hop of a sampled packet's life: the simulated
+// instant, the flow, the node (or link endpoint) where it happened,
+// the hop kind, and a free-form detail. Events carry no per-packet
+// UIDs — pool identities differ across shard layouts — so merged
+// traces are byte-identical across shard counts.
+type TraceEvent struct {
+	T      int64  `json:"t_ns"`
+	Flow   uint32 `json:"flow"`
+	Node   string `json:"node"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace-event kinds, in packet-life order.
+const (
+	HopShim    = "shim"    // sender shim stamped the outgoing packet
+	HopPolice  = "police"  // access-router policing verdict
+	HopMonitor = "monitor" // bottleneck monitor state at traversal
+	HopEnqueue = "enqueue" // link queue admitted the packet
+	HopDrop    = "drop"    // link queue refused the packet (detail = reason)
+	HopDemote  = "demote"  // channel demotion (detail = which)
+	HopDeliver = "deliver" // destination host received the packet
+)
+
+// Recorder is one replica's flight recorder: a deterministic
+// flow-sampled trace buffer. Like Cells it is single-goroutine — each
+// replica records only hops it executes — and replicas' buffers merge
+// at the end of a run. A nil *Recorder means tracing is off; callers
+// guard the hot path with one nil check and pay nothing more.
+type Recorder struct {
+	// sampled marks attach-time flow IDs chosen for tracing; flows at
+	// or beyond len(sampled) (runtime-allocated flows) are never
+	// sampled, on any shard layout.
+	sampled []bool
+	events  []TraceEvent
+}
+
+// NewRecorder builds a recorder over a sampled-flow set (as returned
+// by SampleFlows). Replicas of one run share the same set.
+func NewRecorder(sampled []bool) *Recorder {
+	return &Recorder{sampled: sampled}
+}
+
+// Sampled reports whether a flow is traced. Nil-safe so instrumented
+// paths can guard with a single call.
+func (r *Recorder) Sampled(flow uint32) bool {
+	return r != nil && int(flow) < len(r.sampled) && r.sampled[flow]
+}
+
+// Record appends one hop. Callers check Sampled first; Record itself
+// does not filter so synthesized hops (e.g. demotions discovered after
+// the verdict) need no re-check.
+func (r *Recorder) Record(t int64, flow uint32, node, kind, detail string) {
+	r.events = append(r.events, TraceEvent{T: t, Flow: flow, Node: node, Kind: kind, Detail: detail})
+}
+
+// Events returns the buffer (unsorted; single-replica order).
+func (r *Recorder) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// splitmix64 is the sampling hash: cheap, well-mixed, and stable
+// across platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SampleFlows deterministically picks n of the attach-time flows
+// 1..flowCount by smallest seeded hash — the same discipline as the
+// engine's KeyStream: a pure function of (seed, flow), so every shard
+// layout samples the identical set. Returns the membership bitmap,
+// sized flowCount+1.
+func SampleFlows(seed uint64, flowCount, n int) []bool {
+	sampled := make([]bool, flowCount+1)
+	if n <= 0 || flowCount <= 0 {
+		return sampled
+	}
+	if n >= flowCount {
+		for f := 1; f <= flowCount; f++ {
+			sampled[f] = true
+		}
+		return sampled
+	}
+	type hf struct {
+		h uint64
+		f uint32
+	}
+	hs := make([]hf, flowCount)
+	for f := 1; f <= flowCount; f++ {
+		hs[f-1] = hf{splitmix64(seed ^ uint64(f)), uint32(f)}
+	}
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].h != hs[b].h {
+			return hs[a].h < hs[b].h
+		}
+		return hs[a].f < hs[b].f
+	})
+	for i := 0; i < n; i++ {
+		sampled[hs[i].f] = true
+	}
+	return sampled
+}
+
+// MergeTraces concatenates per-replica buffers and sorts by full event
+// content, making the merged trace a pure set function — independent
+// of shard layout and drain interleaving.
+func MergeTraces(recs []*Recorder) []TraceEvent {
+	var all []TraceEvent
+	for _, r := range recs {
+		all = append(all, r.Events()...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.T != y.T {
+			return x.T < y.T
+		}
+		if x.Flow != y.Flow {
+			return x.Flow < y.Flow
+		}
+		if x.Node != y.Node {
+			return x.Node < y.Node
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.Detail < y.Detail
+	})
+	return all
+}

@@ -43,12 +43,20 @@ type Queue interface {
 	Stats() Stats
 }
 
+// HighWaterer is implemented by disciplines that track their highest
+// backlog in bytes; the observability plane harvests it at snapshot
+// barriers.
+type HighWaterer interface {
+	HighWater() int
+}
+
 // FIFO is an unbounded first-in-first-out queue: the zero value is ready
 // to use. It serves as the default discipline for uncongestible links
 // (host uplinks, well-provisioned edges).
 type FIFO struct {
 	q     Ring
 	bytes int
+	hwm   int
 	stats Stats
 }
 
@@ -57,6 +65,9 @@ func (f *FIFO) Enqueue(p *packet.Packet, now sim.Time) bool {
 	p.EnqueuedAt = now
 	f.q.Push(p)
 	f.bytes += int(p.Size)
+	if f.bytes > f.hwm {
+		f.hwm = f.bytes
+	}
 	f.stats.Enqueued++
 	return true
 }
@@ -81,3 +92,6 @@ func (f *FIFO) Bytes() int { return f.bytes }
 
 // Stats returns cumulative counters.
 func (f *FIFO) Stats() Stats { return f.stats }
+
+// HighWater returns the highest backlog in bytes the queue reached.
+func (f *FIFO) HighWater() int { return f.hwm }

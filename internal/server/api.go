@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	netfence "netfence"
+	"netfence/internal/obs"
 )
 
 // ControlRequest is the body of POST /jobs/{id}/control.
@@ -25,6 +26,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.statuses())
@@ -37,11 +39,48 @@ func (s *Server) routes() http.Handler {
 		writeJSON(w, http.StatusOK, j.status())
 	}))
 	mux.HandleFunc("GET /jobs/{id}/result", s.withJob(s.handleResult))
+	mux.HandleFunc("GET /jobs/{id}/metrics", s.withJob(s.handleJobMetrics))
 	mux.HandleFunc("POST /jobs/{id}/control", s.withJob(s.handleControl))
 	mux.HandleFunc("GET /jobs/{id}/stream", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
 		serveStream(w, r, j.hub)
 	}))
 	return mux
+}
+
+// handleMetrics serves the process-level Prometheus text exposition:
+// service gauges (server_up, per-state job counts) plus every job's
+// merged simulation counters folded together — counter planes sum,
+// gauges take the max, mirroring obs.Merge semantics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	agg := map[string]uint64{"server_up": 1}
+	states := map[jobState]uint64{}
+	for _, j := range jobs {
+		j.mu.Lock()
+		states[j.state]++
+		j.mu.Unlock()
+		obs.MergeMap(agg, j.countersSnapshot())
+	}
+	for st, n := range states {
+		agg[`server_jobs{state="`+string(st)+`"}`] = n
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.RenderPrometheus(w, agg)
+}
+
+// handleJobMetrics serves one job's counters as Prometheus text: the
+// deterministic plane (byte-identical across shard counts), the runtime
+// plane (per-shard events, handoff traffic, mailbox depth), and the
+// live executed-event total from the job's meter.
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.RenderPrometheus(w, j.countersSnapshot())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	netfence "netfence"
+	"netfence/internal/obs"
 )
 
 // jobState is the lifecycle of a job: queued → running (⇄ paused for
@@ -68,6 +69,14 @@ type job struct {
 	result  *netfence.Result
 	results []*netfence.Result
 	report  *netfence.SearchReport
+	// counters is the job's latest merged metric snapshot (deterministic
+	// plus runtime plane): scenario jobs refresh it at every segment
+	// boundary, sweep jobs when the matrix completes.
+	counters map[string]uint64
+
+	// meter accumulates executed-event counts across every engine the
+	// job creates — per-job, so concurrent jobs never share a counter.
+	meter *netfence.Meter
 
 	hub      *hub
 	ctl      chan controlMsg
@@ -80,6 +89,7 @@ func newJob(id string, spec JobSpec) *job {
 		id:       id,
 		spec:     spec,
 		state:    jobQueued,
+		meter:    &netfence.Meter{},
 		hub:      newHub(),
 		ctl:      make(chan controlMsg, 16),
 		finished: make(chan struct{}),
@@ -95,6 +105,22 @@ func (j *job) kind() string {
 	default:
 		return "search"
 	}
+}
+
+// countersSnapshot copies the job's latest metric snapshot, overlaying
+// the live executed-event total from the job's meter (safe to read at
+// any time — the meter is atomic and engines flush it at every segment
+// boundary, so a running job's event count stays fresh even before its
+// first counter snapshot lands).
+func (j *job) countersSnapshot() map[string]uint64 {
+	j.mu.Lock()
+	out := make(map[string]uint64, len(j.counters)+1)
+	for k, v := range j.counters {
+		out[k] = v
+	}
+	j.mu.Unlock()
+	out["sim_events_executed_total"] = j.meter.Total()
+	return out
 }
 
 func (j *job) status() JobStatus {
@@ -177,6 +203,27 @@ func (j *job) run(ctx context.Context) {
 	j.hub.publish("status", j.status())
 }
 
+// sampleEvent is one streamed timeseries point. The last sample of a
+// flush batch additionally carries the deterministic counter increments
+// accumulated since the previous batch.
+type sampleEvent struct {
+	netfence.Sample
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// counterDelta returns the keys of cur that grew past prev — the
+// per-segment increments attached to streamed samples. A nil prev
+// yields the full snapshot.
+func counterDelta(prev, cur map[string]uint64) map[string]uint64 {
+	d := make(map[string]uint64)
+	for k, v := range cur {
+		if v > prev[k] {
+			d[k] = v - prev[k]
+		}
+	}
+	return d
+}
+
 // runScenario drives a scenario job in segments. Each segment advances
 // to the earliest of now+step, the next scripted mutation, the next
 // pending live mutation, the next pause instant, and the duration;
@@ -190,6 +237,7 @@ func (j *job) runScenario(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	sc.Meter = j.meter
 	in, err := sc.Build()
 	if err != nil {
 		return err
@@ -214,13 +262,38 @@ func (j *job) runScenario(ctx context.Context) error {
 	next, pi := 0, 0
 	now := netfence.Time(0)
 
+	var prevCounters map[string]uint64
 	flush := func() {
 		series := in.Series()
-		for ; emitted < len(series); emitted++ {
-			j.hub.publish("sample", series[emitted])
+		det := in.Counters()
+		if emitted < len(series) {
+			// The last sample of the batch carries the deterministic
+			// counter increments since the previous published delta, so
+			// stream consumers see the counter plane advance segment by
+			// segment without re-polling the metrics endpoint. prev only
+			// moves when a delta ships: a boundary with no new samples
+			// (e.g. inside the warmup) folds into the next batch instead
+			// of silently dropping its increments.
+			delta := counterDelta(prevCounters, det)
+			prevCounters = det
+			for ; emitted < len(series); emitted++ {
+				ev := sampleEvent{Sample: series[emitted]}
+				if emitted == len(series)-1 {
+					ev.Counters = delta
+				}
+				j.hub.publish("sample", ev)
+			}
+		}
+		merged := make(map[string]uint64, len(det))
+		for k, v := range det {
+			merged[k] = v
+		}
+		for k, v := range in.RuntimeCounters() {
+			merged[k] = v
 		}
 		j.mu.Lock()
 		j.nowSec = float64(now) / float64(netfence.Second)
+		j.counters = merged
 		j.mu.Unlock()
 	}
 	// absorb applies a control message: mutations at or before the
@@ -330,6 +403,14 @@ func (j *job) runSweep(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	sw.Base.Meter = j.meter
+	if base := sw.BaseFor; base != nil {
+		sw.BaseFor = func(pop int) netfence.Scenario {
+			sc := base(pop)
+			sc.Meter = j.meter
+			return sc
+		}
+	}
 	sw.Progress = func(done, total int, cell string) {
 		j.mu.Lock()
 		j.done, j.total, j.cell = done, total, cell
@@ -337,8 +418,15 @@ func (j *job) runSweep(ctx context.Context) error {
 		j.hub.publish("status", j.status())
 	}
 	results, err := sw.RunContext(ctx)
+	agg := make(map[string]uint64)
+	for _, r := range results {
+		if r != nil {
+			obs.MergeMap(agg, r.Counters)
+		}
+	}
 	j.mu.Lock()
 	j.results = results
+	j.counters = agg
 	j.mu.Unlock()
 	return err
 }
@@ -359,6 +447,7 @@ func (j *job) runSearch(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	sp.Base.Meter = j.meter
 	sp.Progress = func(done, total int, cell string) {
 		j.mu.Lock()
 		j.done, j.total, j.cell = done, total, cell

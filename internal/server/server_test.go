@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -534,5 +535,197 @@ func TestShutdownDrain(t *testing.T) {
 	}
 	if _, err := s2.submit(JobSpec{Scenario: &long}); err == nil {
 		t.Error("submit after shutdown succeeded")
+	}
+}
+
+// scrape fetches a Prometheus-text endpoint and parses it into a
+// key → value map (keys keep their literal label suffixes).
+func scrape(t *testing.T, url string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(line[i+1:], "%d", &v); err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// soloBaseline runs a spec through the batch engine with its own meter
+// attached, returning the executed-event total and the deterministic
+// counter snapshot — what a served job must reproduce exactly.
+func soloBaseline(t *testing.T, spec ScenarioSpec) (uint64, map[string]uint64) {
+	t.Helper()
+	sc, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &netfence.Meter{}
+	sc.Meter = m
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := in.Run()
+	return m.Total(), res.Counters
+}
+
+// TestConcurrentJobMetersIsolated is the regression gate for the old
+// process-global event counter: two scenario jobs running concurrently
+// must each report exactly the executed-event total and counter
+// snapshot of a solo batch run — no cross-job bleed in either
+// direction. It also smokes the process /metrics endpoint.
+func TestConcurrentJobMetersIsolated(t *testing.T) {
+	specA := smokeSpec()
+	specA.Name = "meter-a"
+	specB := smokeSpec()
+	specB.Name = "meter-b"
+	specB.Seed = 8
+	wantA, countersA := soloBaseline(t, specA)
+	wantB, countersB := soloBaseline(t, specB)
+	if wantA == 0 || wantB == 0 {
+		t.Fatalf("solo baselines executed no events (a=%d b=%d)", wantA, wantB)
+	}
+	if wantA == wantB {
+		t.Fatalf("baselines coincide at %d events; pick seeds that diverge", wantA)
+	}
+
+	s := New(Config{Addr: "127.0.0.1:0", Workers: 2, QueueDepth: 4})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	ids := make([]string, 2)
+	for i, spec := range []ScenarioSpec{specA, specB} {
+		spec := spec
+		_, body := postJSON(t, base+"/jobs", JobSpec{Scenario: &spec, StreamIntervalSec: 1})
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitState(t, base, id, string(jobDone))
+	}
+
+	for i, want := range []uint64{wantA, wantB} {
+		got := scrape(t, base+"/jobs/"+ids[i]+"/metrics")
+		if got["sim_events_executed_total"] != want {
+			t.Errorf("job %s executed %d events, solo run executed %d",
+				ids[i], got["sim_events_executed_total"], want)
+		}
+		counters := countersA
+		if i == 1 {
+			counters = countersB
+		}
+		for k, v := range counters {
+			if got[k] != v {
+				t.Errorf("job %s metric %s = %d, solo run has %d", ids[i], k, got[k], v)
+			}
+		}
+	}
+
+	// The process endpoint aggregates both jobs and always carries the
+	// service gauges.
+	proc := scrape(t, base+"/metrics")
+	if proc["server_up"] != 1 {
+		t.Error("process /metrics is missing server_up 1")
+	}
+	if proc[`server_jobs{state="done"}`] != 2 {
+		t.Errorf(`server_jobs{state="done"} = %d, want 2`, proc[`server_jobs{state="done"}`])
+	}
+	if proc["sim_events_executed_total"] != wantA+wantB {
+		t.Errorf("process events total = %d, want %d", proc["sim_events_executed_total"], wantA+wantB)
+	}
+}
+
+// TestSampleEventCounters asserts the SSE sample stream carries
+// deterministic counter deltas that sum to the final snapshot.
+func TestSampleEventCounters(t *testing.T) {
+	s := startServer(t)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	spec := smokeSpec()
+	spec.Name = "deltas"
+	_, body := postJSON(t, base+"/jobs", JobSpec{Scenario: &spec, StreamIntervalSec: 1})
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	events := readStream(t, base+"/jobs/"+st.ID+"/stream")
+
+	summed := map[string]uint64{}
+	withCounters := 0
+	var finalRes netfence.Result
+	for _, ev := range events {
+		switch ev.typ {
+		case "sample":
+			var sample struct {
+				Counters map[string]uint64 `json:"counters"`
+			}
+			if err := json.Unmarshal(ev.data, &sample); err != nil {
+				t.Fatal(err)
+			}
+			if len(sample.Counters) > 0 {
+				withCounters++
+			}
+			for k, v := range sample.Counters {
+				summed[k] += v
+			}
+		case "result":
+			if err := json.Unmarshal(ev.data, &finalRes); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if withCounters == 0 {
+		t.Fatal("no sample event carried counter deltas")
+	}
+	for k, v := range finalRes.Counters {
+		if summed[k] > v {
+			t.Errorf("streamed deltas for %s sum to %d, past the final %d", k, summed[k], v)
+		}
+	}
+	for _, k := range []string{"netsim_delivered_total", "netsim_tx_packets_total"} {
+		if summed[k] != finalRes.Counters[k] {
+			t.Errorf("streamed deltas for %s sum to %d, final snapshot has %d", k, summed[k], finalRes.Counters[k])
+		}
 	}
 }

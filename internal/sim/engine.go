@@ -109,14 +109,19 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // Time returns the instant the event is (or was last) scheduled for.
 func (ev *Event) Time() Time { return ev.at }
 
-// totalExecuted aggregates executed-event counts across every engine in
-// the process; engines flush their local counters at Run/RunUntil
-// boundaries so the per-event hot path stays free of atomics.
-var totalExecuted atomic.Uint64
+// Meter aggregates executed-event counts across the engines of ONE
+// logical run (a scenario's shard replicas, a sweep's cells, a bench
+// suite). Engines attached to a meter flush their local counters into
+// it at Run/RunUntil boundaries, so the per-event hot path stays free
+// of atomics, and concurrent runs in one process (e.g. two -serve
+// jobs) never contaminate each other's event accounting.
+type Meter struct{ n atomic.Uint64 }
 
-// TotalExecuted returns the number of events executed process-wide, for
-// events-per-second benchmark accounting across parallel engines.
-func TotalExecuted() uint64 { return totalExecuted.Load() }
+// Add folds n executed events into the meter. Safe for concurrent use.
+func (m *Meter) Add(n uint64) { m.n.Add(n) }
+
+// Total returns the events aggregated so far.
+func (m *Meter) Total() uint64 { return m.n.Load() }
 
 // Engine is a discrete-event scheduler. It is not safe for concurrent use:
 // simulations are single-threaded and deterministic by design.
@@ -178,9 +183,10 @@ type Engine struct {
 	// that runs are reproducible.
 	Rand *rand.Rand
 	// executed counts events that have run, for diagnostics; flushed
-	// tracks how much of it has been added to totalExecuted.
+	// tracks how much of it has been folded into the attached meter.
 	executed uint64
 	flushed  uint64
+	meter    *Meter
 }
 
 // New returns an engine whose clock starts at zero and whose random source
@@ -640,11 +646,22 @@ func (e *Engine) KeyStream(id uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(e.keyBase^0x9e3779b97f4a7c15, id))
 }
 
-// flushExecuted publishes locally-counted executions to the process-wide
-// total.
+// AttachMeter directs the engine's executed-event accounting into m;
+// a nil meter detaches. Executions already counted are not replayed
+// into the new meter.
+func (e *Engine) AttachMeter(m *Meter) {
+	e.meter = m
+	e.flushed = e.executed
+}
+
+// flushExecuted publishes locally-counted executions to the attached
+// run meter, if any.
 func (e *Engine) flushExecuted() {
+	if e.meter == nil {
+		return
+	}
 	if d := e.executed - e.flushed; d > 0 {
-		totalExecuted.Add(d)
+		e.meter.Add(d)
 		e.flushed = e.executed
 	}
 }

@@ -1,0 +1,122 @@
+package netfence
+
+import (
+	"strconv"
+
+	"netfence/internal/netsim"
+	"netfence/internal/obs"
+	"netfence/internal/queue"
+	"netfence/internal/sim"
+)
+
+// Observability plane (internal/obs).
+type (
+	// Meter accumulates executed-event counts across one run's shard
+	// engines; see Scenario.Meter.
+	Meter = sim.Meter
+	// TraceEvent is one hop of a sampled packet's flight-recorder trace.
+	TraceEvent = obs.TraceEvent
+	// MetricDef describes one registered metric for catalogs and docs.
+	MetricDef = obs.Def
+)
+
+// Metrics returns the full registered metric catalog in cell order —
+// the source of truth behind -list-metrics, Result.Counters keys and
+// the /metrics endpoint.
+func Metrics() []MetricDef { return obs.Catalog() }
+
+// replicaNets lists the run's networks in shard order (a single entry
+// on the classic engine).
+func (in *Instance) replicaNets() []*netsim.Network {
+	if sh := in.env.sh; sh != nil {
+		nets := make([]*netsim.Network, len(sh.replicas))
+		for i, bt := range sh.replicas {
+			nets[i] = bt.net
+		}
+		return nets
+	}
+	return []*netsim.Network{in.env.net}
+}
+
+// harvestGauges folds queue state only visible by inspection — the
+// per-queue backlog high-water mark — into a replica's cells. Called
+// at snapshot barriers; the marks are monotone, so repeated harvests
+// are idempotent.
+func harvestGauges(net *netsim.Network) {
+	var hwm uint64
+	for _, l := range net.Links {
+		if hw, ok := l.Q.(queue.HighWaterer); ok {
+			if v := uint64(hw.HighWater()); v > hwm {
+				hwm = v
+			}
+		}
+	}
+	net.Cells.SetMax(obs.QueueHWMBytes, hwm)
+}
+
+// mergedCells harvests and merges every replica's cells in shard
+// order. Callers must hold the run at a control point (built, between
+// Advance segments, or finished) so no engine goroutine is mutating
+// cells concurrently.
+func (in *Instance) mergedCells() obs.Cells {
+	nets := in.replicaNets()
+	cells := make([]obs.Cells, len(nets))
+	for i, n := range nets {
+		harvestGauges(n)
+		cells[i] = n.Cells
+	}
+	return obs.Merge(cells)
+}
+
+// Counters returns the deterministic counter plane: every packet-path
+// counter, gauge and histogram series with a non-zero value, merged
+// across shards. The snapshot is byte-identical across shard counts
+// 1/2/4/8 — the same equivalence contract as the Result itself — and
+// is what Result.Counters carries.
+func (in *Instance) Counters() map[string]uint64 {
+	return obs.DeterministicMap(in.mergedCells())
+}
+
+// RuntimeCounters returns the runtime plane: execution artifacts that
+// legitimately vary with the shard layout — events executed (total and
+// per shard), cut-link handoff batches and packet counts, mailbox
+// depth high-water marks, replicated keyring-rotation timers. Surfaced
+// on /metrics, -metrics-out and bench rows; never part of Result.
+func (in *Instance) RuntimeCounters() map[string]uint64 {
+	m := obs.RuntimeMap(in.mergedCells())
+	var total uint64
+	for i, e := range in.Engines {
+		n := e.Executed()
+		total += n
+		if n > 0 {
+			m[`sim_events_executed{shard="`+strconv.Itoa(i)+`"}`] = n
+		}
+	}
+	if total > 0 {
+		m["sim_events_executed_total"] = total
+	}
+	return m
+}
+
+// EventsExecuted returns the total discrete events executed by the
+// run's engines so far. Per-instance, so concurrent runs in one
+// process never cross-contaminate.
+func (in *Instance) EventsExecuted() uint64 {
+	var total uint64
+	for _, e := range in.Engines {
+		total += e.Executed()
+	}
+	return total
+}
+
+// Trace returns the merged flight-recorder trace: every recorded hop
+// of the sampled flows, sorted by full event content, so the trace is
+// byte-identical across shard counts. Empty without Scenario.TraceFlows.
+func (in *Instance) Trace() []TraceEvent {
+	nets := in.replicaNets()
+	recs := make([]*obs.Recorder, len(nets))
+	for i, n := range nets {
+		recs[i] = n.Rec
+	}
+	return obs.MergeTraces(recs)
+}

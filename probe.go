@@ -63,6 +63,14 @@ type Result struct {
 	// TimeseriesProbe: per-interval samples.
 	Series []Sample
 
+	// Counters is the deterministic observability snapshot: every
+	// packet-path counter, gauge and histogram series with a non-zero
+	// value, merged across shards (see the metric catalog in
+	// Metrics()). Byte-identical across shard counts; runtime-plane
+	// metrics (per-shard event counts, handoff batches) are deliberately
+	// excluded — read them with Instance.RuntimeCounters.
+	Counters map[string]uint64
+
 	// SearchTrace, on a result produced by an adversarial search (see
 	// SearchSpec), records the candidate sequence that led the optimizer
 	// to this configuration — provenance for the worst-found table. nil

@@ -12,6 +12,7 @@ import (
 	"netfence/internal/defense"
 	"netfence/internal/metrics"
 	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
 	"netfence/internal/topo"
@@ -80,6 +81,18 @@ type Scenario struct {
 	// instants between event batches, deterministically on every shard
 	// count. See Mutation. An empty Timeline is the classic static run.
 	Timeline []Mutation
+	// TraceFlows enables the packet flight recorder: a deterministic
+	// sample of up to TraceFlows attachment-time flows (selected by
+	// seeded hash, identically on every shard count) is traced hop by
+	// hop — shim stamp, access-router policing verdict, monitor
+	// feedback, queue admit/drop with reason, demotion, delivery. Read
+	// the merged trace with Instance.Trace. 0 disables tracing; untraced
+	// runs pay only a nil check per hop.
+	TraceFlows int
+	// Meter, when set, accumulates executed-event counts from every
+	// shard engine of this run. Each run gets its own meter, so
+	// concurrent runs in one process never cross-contaminate.
+	Meter *Meter
 }
 
 // DefenseSpec selects a defense system from the registry.
@@ -468,6 +481,12 @@ func (s Scenario) buildSingle() (*Instance, error) {
 			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
+	if s.TraceFlows > 0 {
+		bt.net.Rec = obs.NewRecorder(obs.SampleFlows(s.Seed, int(bt.net.FlowSeq()), s.TraceFlows))
+	}
+	if s.Meter != nil {
+		eng.AttachMeter(s.Meter)
+	}
 
 	probes := s.Probes
 	if probes == nil {
@@ -535,6 +554,7 @@ func (in *Instance) collect() *Result {
 	for _, p := range in.probes {
 		p.finish(in.env, res)
 	}
+	res.Counters = in.Counters()
 	return res
 }
 

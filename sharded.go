@@ -8,6 +8,7 @@ import (
 	"netfence/internal/defense"
 	"netfence/internal/metrics"
 	"netfence/internal/netsim"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/sim"
 	"netfence/internal/topo"
@@ -267,6 +268,20 @@ func (s Scenario) buildSharded(shards int) (*Instance, error) {
 	// transfers opening flows mid-run never collide across shards.
 	for i := range st.replicas {
 		st.replicas[i].net.SetFlowBase(st.flowSeq + uint32(i+1)<<20)
+	}
+	if s.TraceFlows > 0 {
+		// One shared sample bitmap (read-only) covering the attach-time
+		// flows; each replica records into its own buffer and the merge
+		// sorts by content, so the trace is shard-count-invariant.
+		sampled := obs.SampleFlows(s.Seed, int(st.flowSeq), s.TraceFlows)
+		for i := range st.replicas {
+			st.replicas[i].net.Rec = obs.NewRecorder(sampled)
+		}
+	}
+	if s.Meter != nil {
+		for _, e := range st.engines {
+			e.AttachMeter(s.Meter)
+		}
 	}
 
 	probes := s.Probes
