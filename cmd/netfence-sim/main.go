@@ -75,6 +75,11 @@
 // random AS-level topology with >=10k senders — and -bench-scale huge
 // raises that to 65,536 senders; with -shards N both run the
 // single-engine twin first and report the sharded speedup.
+// -bench-scale massive crosses the million-modeled-sender line with
+// fleet aggregation (1,024 attachment hosts of weight 1,024 plus 256
+// TCP users) and, with -shards N, additionally requires the sharded
+// Result JSON byte-identical to the single engine's; massive-smoke is
+// the same shape at 16,384 modeled senders for CI.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run;
 // shard worker goroutines carry pprof labels (shard=<as-range>) so
@@ -164,7 +169,7 @@ func main() {
 		parallel   = flag.Int("parallelism", 0, "sweep: concurrent cells (0 = GOMAXPROCS)")
 
 		benchJSON  = flag.Bool("bench-json", false, "emit the benchmark baseline as JSON and exit")
-		benchScale = flag.String("bench-scale", "tiny", "bench-json: tiny (figure suite) | large (random-as, >=10k senders)")
+		benchScale = flag.String("bench-scale", "tiny", "bench-json: tiny (figure suite) | large (random-as, >=10k senders) | huge (>=65k) | massive (>=1M modeled senders via fleet aggregation) | massive-smoke (CI-sized massive)")
 		benchBase  = flag.String("bench-baseline", "", "bench-json: baseline JSON to compare against; exit 1 on >25% wall-time regression")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
@@ -834,6 +839,12 @@ type benchRow struct {
 	Events      uint64  `json:"events"`
 	EventsPer   float64 `json:"events_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HeapAllocPeak and SysBytes snapshot memory at the row boundary
+	// (ReadMemStats right after the suite returns, before the next
+	// GC): live heap bytes and total bytes obtained from the OS. They
+	// bound the suite's working set; the bench gate ignores both.
+	HeapAllocPeak uint64 `json:"heap_alloc_peak"`
+	SysBytes      uint64 `json:"sys_bytes"`
 	// CandidatesPerSec is set on the adversarial-search row only:
 	// evaluated attack configurations per wall second.
 	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
@@ -872,7 +883,10 @@ func timeSuite(name, scale string, fn func(m *netfence.Meter) map[string]uint64)
 	wall := time.Since(start).Seconds()
 	events := meter.Total()
 	runtime.ReadMemStats(&m1)
-	row := benchRow{Name: name, Scale: scale, WallSeconds: wall, Events: events, Counters: counters}
+	row := benchRow{
+		Name: name, Scale: scale, WallSeconds: wall, Events: events, Counters: counters,
+		HeapAllocPeak: m1.HeapAlloc, SysBytes: m1.Sys,
+	}
 	if wall > 0 {
 		row.EventsPer = float64(events) / wall
 	}
@@ -991,8 +1005,47 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 					scale, n, single.WallSeconds/sharded.WallSeconds, sharded.EventsPer/single.EventsPer)
 			}
 		}
+	case "massive", "massive-smoke":
+		// The million-sender demonstration: fleet aggregation carries a
+		// modeled population two orders of magnitude beyond the huge
+		// cell's host count, and the cell itself proves determinism by
+		// re-running at the requested shard count and requiring the
+		// Result JSON byte-identical to the single engine's.
+		p := massiveFull
+		if scale == "massive-smoke" {
+			p = massiveSmoke
+		}
+		name := "random-as-" + scale
+		var singleJSON, shardedJSON string
+		single := measure(name, scale, func(m *netfence.Meter) map[string]uint64 {
+			c, raw := runBenchScenarioJSON(massiveScenario(name, p, 1, m))
+			singleJSON = raw
+			return c
+		})
+		rep.Rows = append(rep.Rows, single)
+		fmt.Fprintf(os.Stderr, "%s: %d modeled senders over %d hosts (%d fleet attachments, weight %d)\n",
+			name, p.population(), p.users+p.hosts, p.hosts, p.weight)
+		if shards > 1 || shards == -1 {
+			n := displayShards(shards)
+			sharded := measure(fmt.Sprintf("%s-shards%d", name, n), scale,
+				func(m *netfence.Meter) map[string]uint64 {
+					c, raw := runBenchScenarioJSON(massiveScenario(name, p, shards, m))
+					shardedJSON = raw
+					return c
+				})
+			rep.Rows = append(rep.Rows, sharded)
+			if shardedJSON != singleJSON {
+				fmt.Fprintf(os.Stderr, "%s: sharded Result diverged from the single engine\n", name)
+				return false
+			}
+			fmt.Fprintf(os.Stderr, "%s: sharded Result byte-identical to the single engine (%d shards)\n", name, n)
+			if sharded.WallSeconds > 0 && single.WallSeconds > 0 {
+				fmt.Fprintf(os.Stderr, "sharded speedup (%s, %d shards): %.2fx wall, %.2fx events/sec\n",
+					scale, n, single.WallSeconds/sharded.WallSeconds, sharded.EventsPer/single.EventsPer)
+			}
+		}
 	default:
-		fatal(fmt.Errorf("unknown -bench-scale %q (tiny|large|huge)", scale))
+		fatal(fmt.Errorf("unknown -bench-scale %q (tiny|large|huge|massive|massive-smoke)", scale))
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -1058,16 +1111,28 @@ func runShardedSmoke(shards, label int, m *netfence.Meter) map[string]uint64 {
 // its merged metric snapshot: the deterministic plane from the Result
 // plus the runtime plane (per-shard event counts, handoff batches).
 func runBenchScenario(sc netfence.Scenario) map[string]uint64 {
+	counters, _ := runBenchScenarioJSON(sc)
+	return counters
+}
+
+// runBenchScenarioJSON additionally returns the canonical Result JSON,
+// so cells that run the same scenario at several shard counts can
+// assert byte-identity (the massive cell's determinism check).
+func runBenchScenarioJSON(sc netfence.Scenario) (map[string]uint64, string) {
 	in, err := sc.Build()
 	if err != nil {
 		fatal(err)
 	}
 	res := in.Run()
 	fmt.Fprintln(os.Stderr, res.String())
+	raw, err := json.Marshal(res)
+	if err != nil {
+		fatal(err)
+	}
 	counters := map[string]uint64{}
 	obs.MergeMap(counters, res.Counters)
 	obs.MergeMap(counters, in.RuntimeCounters())
-	return counters
+	return counters, string(raw)
 }
 
 // runSearchBench is the adversarial-search bench cell: a small
@@ -1159,6 +1224,80 @@ func runHugeCell(shards int, m *netfence.Meter) map[string]uint64 {
 		Shards:   shards,
 		Meter:    m,
 	})
+}
+
+// massiveParams sizes a fleet-aggregated bench cell: `hosts` fleet
+// attachment hosts each standing for `weight` modeled attackers, next
+// to `users` individually-modeled TCP users. The full cell crosses the
+// million-modeled-sender line; the smoke variant keeps the same shape
+// at a population that finishes in seconds for CI.
+type massiveParams struct {
+	users   int   // individually modeled LongTCP users
+	hosts   int   // fleet attachment hosts
+	weight  int   // modeled attackers per attachment host
+	rateBps int64 // per-modeled-attacker offered load
+
+	srcASes, transitASes, extraLinks int
+
+	duration, warmup netfence.Time
+}
+
+// population returns the total modeled sender count of the cell.
+func (p massiveParams) population() int { return p.users + p.hosts*p.weight }
+
+var (
+	// massiveFull: 1,048,576 modeled attackers over 1,024 attachment
+	// hosts (weight 1,024) plus 256 TCP users — a 2x-congested
+	// bottleneck once the fleet offers 2 kbps per modeled sender.
+	massiveFull = massiveParams{
+		users: 256, hosts: 1024, weight: 1024, rateBps: 2_000,
+		srcASes: 64, transitASes: 8, extraLinks: 4,
+		duration: 10 * netfence.Second, warmup: 5 * netfence.Second,
+	}
+	// massiveSmoke: the same shape at 16,384 modeled attackers,
+	// seconds-fast for the CI smoke step.
+	massiveSmoke = massiveParams{
+		users: 64, hosts: 256, weight: 64, rateBps: 2_000,
+		srcASes: 16, transitASes: 4, extraLinks: 2,
+		duration: 5 * netfence.Second, warmup: 2 * netfence.Second,
+	}
+)
+
+// massiveScenario builds the fleet-aggregated random-as cell. The
+// topology carries users+hosts physical sender hosts; the FleetSpec
+// stamps each attachment host with its modeled weight, so the access
+// routers police weight-scaled aggregates and the partitioner balances
+// shards by modeled load. The bottleneck is sized to the modeled
+// population (1 kbps fair share), keeping the 2x-congested operating
+// regime of the large and huge cells.
+func massiveScenario(name string, p massiveParams, shards int, m *netfence.Meter) netfence.Scenario {
+	physical := p.users + p.hosts
+	return netfence.Scenario{
+		Name: name,
+		Seed: 1,
+		Topology: netfence.RandomASSpec{
+			Senders:       physical,
+			BottleneckBps: int64(p.population()) * 1_000,
+			SrcASes:       p.srcASes,
+			TransitASes:   p.transitASes,
+			ExtraLinks:    p.extraLinks,
+			ColluderASes:  9,
+		},
+		Defense: netfence.Defense("netfence"),
+		Workloads: []netfence.Workload{
+			netfence.LongTCP{Senders: netfence.Range(0, p.users)},
+			netfence.FleetSpec{
+				Count:    p.hosts * p.weight,
+				Senders:  netfence.Range(p.users, physical),
+				RateBps:  p.rateBps,
+				Attacker: true,
+			},
+		},
+		Duration: p.duration,
+		Warmup:   p.warmup,
+		Shards:   shards,
+		Meter:    m,
+	}
 }
 
 // profileFinalizers chains the -cpuprofile/-memprofile teardown;

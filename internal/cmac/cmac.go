@@ -22,10 +22,20 @@ type Key = [16]byte
 
 // CMAC computes AES-CMAC tags under a fixed key. It precomputes the two
 // subkeys K1 and K2 at construction, so per-message cost is one AES pass.
-// A CMAC value is safe for concurrent use: Sum does not mutate state.
+//
+// A CMAC value is NOT safe for concurrent use: Sum chains the cipher
+// through scratch blocks held on the struct, because stack scratch
+// passed to the cipher.Block interface escapes to the heap and the
+// per-packet MAC was the simulator's dominant allocation. Every engine
+// shard builds its own key material, so instances are single-goroutine
+// by construction; callers that share one across goroutines must
+// serialize.
 type CMAC struct {
 	block  cipher.Block
 	k1, k2 [BlockSize]byte
+	// x, y are Sum's CBC chaining state and XOR scratch. Struct-resident
+	// so Sum performs zero heap allocations per call.
+	x, y [BlockSize]byte
 }
 
 // New returns a CMAC for the given 128-bit key.
@@ -61,14 +71,14 @@ func shiftLeft(dst, src *[BlockSize]byte) {
 
 // Sum computes the 16-byte AES-CMAC tag of msg.
 func (c *CMAC) Sum(msg []byte) [BlockSize]byte {
-	var x, y [BlockSize]byte
+	c.x = [BlockSize]byte{}
 	n := len(msg)
 	// Process all complete blocks except the last.
 	for n > BlockSize {
 		for i := 0; i < BlockSize; i++ {
-			y[i] = x[i] ^ msg[i]
+			c.y[i] = c.x[i] ^ msg[i]
 		}
-		c.block.Encrypt(x[:], y[:])
+		c.block.Encrypt(c.x[:], c.y[:])
 		msg = msg[BlockSize:]
 		n -= BlockSize
 	}
@@ -85,10 +95,10 @@ func (c *CMAC) Sum(msg []byte) [BlockSize]byte {
 		}
 	}
 	for i := 0; i < BlockSize; i++ {
-		y[i] = x[i] ^ last[i]
+		c.y[i] = c.x[i] ^ last[i]
 	}
-	c.block.Encrypt(x[:], y[:])
-	return x
+	c.block.Encrypt(c.x[:], c.y[:])
+	return c.x
 }
 
 // Sum32 computes the CMAC tag truncated to its first 4 bytes, the width of

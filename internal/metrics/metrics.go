@@ -97,6 +97,27 @@ func Jain(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sq)
 }
 
+// JainWeighted computes Jain's index over a population where xs[i] is
+// one per-member value shared by ws[i] members: (Σ w·x)² / (Σw · Σ w·x²).
+// With all weights 1 this is exactly Jain. Used by fleet-aggregated
+// scenarios, where one meter stands for N homogeneous senders.
+func JainWeighted(xs, ws []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var wsum, sum, sq float64
+	for i, x := range xs {
+		w := ws[i]
+		wsum += w
+		sum += w * x
+		sq += w * x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (wsum * sq)
+}
+
 // MeanStd returns the mean and population standard deviation.
 func MeanStd(xs []float64) (mean, std float64) {
 	if len(xs) == 0 {

@@ -14,6 +14,15 @@ import (
 // need no further synchronization; the barrier provides the
 // happens-before edge.
 //
+// Pending handoffs are stored structure-of-arrays — a key slab and a
+// parallel packet-argument slab — so a drain hands the destination
+// engine one contiguous batch (Engine.InjectBatch) instead of
+// re-checking the clock and due batch per packet. Keys in a window are
+// minted as now+delay with now nondecreasing and delay constant between
+// barriers, so the slab is already sorted by arrival time: the batch
+// contract (nondecreasing At) holds by construction, and "did anything
+// land in this window" is answered by the first key alone.
+//
 // Ownership transfer: a handed-off packet leaves the source shard's
 // pool domain with the push and enters the destination's — the
 // destination network releases it into its own pool at end of life.
@@ -24,14 +33,10 @@ type Mailbox struct {
 	// linkArrive handler delivers drained packets to the To node with
 	// full ingress/forwarding semantics.
 	destLink *Link
-	pending  []handoff
-}
-
-// handoff is one in-flight cross-shard packet with the pedigree key that
-// positions its arrival among the destination engine's events.
-type handoff struct {
-	p   *packet.Packet
-	key sim.EventKey
+	keys     []sim.EventKey
+	// args holds the packets pre-boxed as `any` so the batch injection
+	// reuses the interface words instead of boxing per event.
+	args []any
 }
 
 // NewMailbox creates the mailbox for a cut link. dest must be the
@@ -42,14 +47,15 @@ func NewMailbox(dest *Link) *Mailbox { return &Mailbox{destLink: dest} }
 // push records one handoff. Called by the source shard inside the
 // transmit-complete event.
 func (m *Mailbox) push(p *packet.Packet, key sim.EventKey) {
-	m.pending = append(m.pending, handoff{p: p, key: key})
+	m.keys = append(m.keys, key)
+	m.args = append(m.args, p)
 }
 
-// Drain injects every pending arrival into the destination engine and
-// reports whether any landed at or before deadline. Called by the
-// destination shard at window start, after the barrier.
+// Drain injects every pending arrival into the destination engine as
+// one batch and reports whether any landed at or before deadline.
+// Called by the destination shard at window start, after the barrier.
 func (m *Mailbox) Drain(deadline sim.Time) bool {
-	if len(m.pending) == 0 {
+	if len(m.keys) == 0 {
 		return false
 	}
 	// Runtime-plane accounting, written on the destination goroutine
@@ -57,19 +63,16 @@ func (m *Mailbox) Drain(deadline sim.Time) bool {
 	// deepest batch any drain saw. Shard-layout-dependent by nature.
 	cells := m.destLink.net.Cells
 	cells.Add(obs.NetsimHandoffBatches, 1)
-	cells.Add(obs.NetsimHandoffPackets, uint64(len(m.pending)))
-	cells.SetMax(obs.NetsimMailboxDepthHWM, uint64(len(m.pending)))
+	cells.Add(obs.NetsimHandoffPackets, uint64(len(m.keys)))
+	cells.SetMax(obs.NetsimMailboxDepthHWM, uint64(len(m.keys)))
+	// Keys ascend within the slab, so the earliest arrival is keys[0].
+	hit := m.keys[0].At <= deadline
 	eng := m.destLink.net.Eng
-	h := (*linkArrive)(m.destLink)
-	hit := false
-	for i := range m.pending {
-		hd := &m.pending[i]
-		eng.Inject(hd.key, h, hd.p)
-		if hd.key.At <= deadline {
-			hit = true
-		}
-		hd.p = nil
+	eng.InjectBatch(m.keys, (*linkArrive)(m.destLink), m.args)
+	for i := range m.args {
+		m.args[i] = nil
 	}
-	m.pending = m.pending[:0]
+	m.keys = m.keys[:0]
+	m.args = m.args[:0]
 	return hit
 }

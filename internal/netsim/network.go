@@ -377,6 +377,13 @@ type Node struct {
 	IsHost bool
 	Host   *Host
 
+	// Weight is the number of modeled senders this node aggregates: 0 or
+	// 1 for an ordinary host, N>1 for a fleet attachment point standing
+	// in for N statistically homogeneous senders. Defenses and probes
+	// consult SenderWeight to scale per-sender state (rate-limiter
+	// parameters, fair-share denominators) in closed form.
+	Weight int32
+
 	// Ingress, when set, intercepts every packet arriving at this node
 	// before delivery or forwarding. Returning false consumes the packet
 	// (policers use this to drop, or to cache and re-inject later via
@@ -385,6 +392,15 @@ type Node struct {
 
 	net *Network
 	out []*Link
+}
+
+// SenderWeight returns how many modeled senders the node stands for,
+// never less than one.
+func (nd *Node) SenderWeight() int {
+	if nd.Weight > 1 {
+		return int(nd.Weight)
+	}
+	return 1
 }
 
 // String identifies the node in traces.

@@ -71,6 +71,13 @@ const (
 	QueueBacklogBucketInf
 	QueueBacklogSum
 
+	// Sender aggregation: fleet attachments and the modeled senders they
+	// stand for. Attach-time counts on the owning replica only, so the
+	// merged totals are shard-layout-invariant and belong to the
+	// deterministic plane.
+	FleetAttached
+	FleetModeledSenders
+
 	// Runtime-plane metrics.
 	SimEventsExecuted
 	CoreKeyringRotations
@@ -135,6 +142,8 @@ var defs = []Def{
 	{QueueDropLegacy, "queue_drop_legacy_total", "legacy-channel drops at a NetFence bottleneck", "§4.4", Counter, false},
 	{QueueHWMBytes, "queue_hwm_bytes", "highest backlog in bytes any single queue reached", "§6", Gauge, false},
 	{QueueBacklogBucket0, "queue_backlog_bytes", "bottleneck backlog observed at each admitted enqueue", "§4.3", Histogram, false},
+	{FleetAttached, "fleet_attached_total", "aggregate fleet sources attached to the topology", "§5.1", Counter, false},
+	{FleetModeledSenders, "fleet_modeled_senders_total", "modeled senders represented by aggregate fleet sources", "§5.1", Counter, false},
 	{SimEventsExecuted, "sim_events_executed_total", "discrete events executed, per engine shard", "—", Counter, true},
 	{CoreKeyringRotations, "core_keyring_rotation_total", "access-router keyring rotations (replicated timers: scales with shard count)", "§4.1", Counter, true},
 	{NetsimHandoffBatches, "netsim_handoff_batch_total", "cut-link mailbox drain batches between shards", "—", Counter, true},

@@ -243,17 +243,40 @@ func (e *Engine) After(d Time, fn func()) *Event {
 // nothing. No handle is returned; use At or ScheduleEvent for cancellable
 // events.
 func (e *Engine) Schedule(t Time, h Handler, arg any) {
-	ev := e.free
-	if ev != nil {
-		e.free = ev.next
-		ev.next = nil
-	} else {
-		ev = &Event{loc: locNone, index: -1}
-	}
+	ev := e.grabEvent()
 	ev.pooled = true
 	ev.h = h
 	ev.arg = arg
 	e.scheduleEv(ev, t)
+}
+
+// eventSlabSize is how many pooled Event slots one free-list refill
+// allocates at once. Slab refills amortize the allocator over bursts
+// (a mailbox batch injection wants dozens of slots in one drain) and
+// keep pooled events cache-adjacent.
+const eventSlabSize = 64
+
+// grabEvent pops a pooled event slot off the free list, refilling the
+// list from a contiguous slab when it runs dry.
+func (e *Engine) grabEvent() *Event {
+	ev := e.free
+	if ev == nil {
+		slab := make([]Event, eventSlabSize)
+		for i := range slab {
+			slab[i].loc = locNone
+			slab[i].index = -1
+			if i > 0 {
+				slab[i].next = &slab[i-1]
+			}
+		}
+		e.free = &slab[eventSlabSize-2]
+		ev = &slab[eventSlabSize-1]
+		ev.next = nil
+		return ev
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
 }
 
 // ScheduleEvent arms a caller-owned event slot: h.OnEvent(now, arg) runs
@@ -578,13 +601,19 @@ func (e *Engine) Inject(k EventKey, h Handler, arg any) {
 	if k.At < e.now {
 		panic("sim: Inject behind the engine clock (lookahead violation)")
 	}
-	ev := e.free
-	if ev != nil {
-		e.free = ev.next
-		ev.next = nil
-	} else {
-		ev = &Event{loc: locNone, index: -1}
+	// An injected key may precede an already-extracted due batch even at
+	// the same timestamp (its pedigree is older); spill so ordering stays
+	// global.
+	if e.duePos < len(e.due) && k.At <= e.dueAt {
+		e.spillDue()
 	}
+	e.injectOne(k, h, arg)
+}
+
+// injectOne places one handoff event without the clock and due-batch
+// checks — the caller has already established them.
+func (e *Engine) injectOne(k EventKey, h Handler, arg any) {
+	ev := e.grabEvent()
 	ev.pooled = true
 	ev.h = h
 	ev.arg = arg
@@ -595,13 +624,29 @@ func (e *Engine) Inject(k EventKey, h Handler, arg any) {
 	ev.queued = true
 	ev.cancelled = false
 	e.live++
-	// An injected key may precede an already-extracted due batch even at
-	// the same timestamp (its pedigree is older); spill so ordering stays
-	// global.
-	if e.duePos < len(e.due) && k.At <= e.dueAt {
+	e.insert(ev)
+}
+
+// InjectBatch injects a slab of handoff events sharing one handler in a
+// single call, amortizing the clock check and due-batch spill over the
+// whole batch. keys and args are parallel slices; keys MUST be
+// nondecreasing in At — the contract holds for a cut-link mailbox drain,
+// whose keys were minted as now+delay with now nondecreasing and delay
+// constant within a synchronization window — so one comparison against
+// the due-batch timestamp covers every key in the slab.
+func (e *Engine) InjectBatch(keys []EventKey, h Handler, args []any) {
+	if len(keys) == 0 {
+		return
+	}
+	if keys[0].At < e.now {
+		panic("sim: InjectBatch behind the engine clock (lookahead violation)")
+	}
+	if e.duePos < len(e.due) && keys[0].At <= e.dueAt {
 		e.spillDue()
 	}
-	e.insert(ev)
+	for i, k := range keys {
+		e.injectOne(k, h, args[i])
+	}
 }
 
 // SetShardTag namespaces this engine's sequence numbers with a shard

@@ -88,8 +88,13 @@ func (g *Graph) Partition(shards int) (*Partition, error) {
 		return nil, fmt.Errorf("%w: %d shards requested, topology has %d partitionable ASes",
 			ErrTooManyShards, shards, len(weights))
 	}
+	// Atom weight is modeled-sender weight, not raw node count: a fleet
+	// attachment point standing in for N senders pulls its shard's quota
+	// as if the N hosts were materialized, so the load balance reflects
+	// the traffic the atoms will actually generate. Weight-1 nodes (all
+	// pre-fleet topologies) make this the historical node count.
 	for _, nd := range g.Net.Nodes {
-		weights[atomOf[nd.AS]]++
+		weights[atomOf[nd.AS]] += nd.SenderWeight()
 	}
 	total := 0
 	for _, w := range weights {

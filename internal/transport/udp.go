@@ -28,12 +28,16 @@ type UDPSource struct {
 	running bool
 	on      bool
 	// ev is the owned inter-packet pacing event, reused for the whole
-	// lifetime of the source (on-phase and trickle pacing alike).
-	ev   sim.Event
-	sent uint64
+	// lifetime of the source (on-phase and trickle pacing alike);
+	// flipEv is the owned on/off phase timer. Both live for the source's
+	// lifetime so steady-state on-off traffic schedules without
+	// allocating.
+	ev     sim.Event
+	flipEv sim.Event
+	sent   uint64
 }
 
-// udpPace and udpTrickle dispatch the source's owned pacing event.
+// udpPace, udpTrickle and udpFlip dispatch the source's owned events.
 type udpPace UDPSource
 
 func (h *udpPace) OnEvent(sim.Time, any) { (*UDPSource)(h).sendNext() }
@@ -41,6 +45,10 @@ func (h *udpPace) OnEvent(sim.Time, any) { (*UDPSource)(h).sendNext() }
 type udpTrickle UDPSource
 
 func (h *udpTrickle) OnEvent(sim.Time, any) { (*UDPSource)(h).sendTrickle() }
+
+type udpFlip UDPSource
+
+func (h *udpFlip) OnEvent(sim.Time, any) { (*UDPSource)(h).phaseFlip() }
 
 // NewUDPSource creates a constant-rate source; call Start to begin.
 func NewUDPSource(host *netsim.Host, dst packet.NodeID, flow packet.FlowID, rateBps int64, pktSize int32) *UDPSource {
@@ -55,8 +63,9 @@ func (u *UDPSource) Start() {
 	u.running = true
 	u.on = true
 	u.ev.Cancel() // restart-safe: disarm any pacing left from a prior run
+	u.flipEv.Cancel()
 	if u.OnTime > 0 && u.OffTime > 0 {
-		u.schedulePhaseFlip(u.OnTime)
+		u.scheduleFlip(u.OnTime)
 	}
 	u.sendNext()
 }
@@ -65,29 +74,33 @@ func (u *UDPSource) Start() {
 func (u *UDPSource) Stop() {
 	u.running = false
 	u.ev.Cancel()
+	u.flipEv.Cancel()
 }
 
 // SentPackets returns the number of packets emitted.
 func (u *UDPSource) SentPackets() uint64 { return u.sent }
 
-func (u *UDPSource) schedulePhaseFlip(after sim.Time) {
-	u.eng.After(after, func() {
-		if !u.running {
-			return
+func (u *UDPSource) scheduleFlip(after sim.Time) {
+	u.eng.ScheduleEvent(&u.flipEv, u.eng.Now()+after, (*udpFlip)(u), nil)
+}
+
+// phaseFlip toggles the on/off phase and re-arms the owned flip timer.
+func (u *UDPSource) phaseFlip() {
+	if !u.running {
+		return
+	}
+	u.on = !u.on
+	if u.on {
+		u.scheduleFlip(u.OnTime)
+		u.ev.Cancel() // a pending trickle event would collide with the burst pacing
+		u.sendNext()
+	} else {
+		u.scheduleFlip(u.OffTime)
+		u.ev.Cancel()
+		if u.OffRateBps > 0 {
+			u.sendTrickle()
 		}
-		u.on = !u.on
-		if u.on {
-			u.schedulePhaseFlip(u.OnTime)
-			u.ev.Cancel() // a pending trickle event would collide with the burst pacing
-			u.sendNext()
-		} else {
-			u.schedulePhaseFlip(u.OffTime)
-			u.ev.Cancel()
-			if u.OffRateBps > 0 {
-				u.sendTrickle()
-			}
-		}
-	})
+	}
 }
 
 // sendTrickle emits at OffRateBps during off phases.

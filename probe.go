@@ -203,16 +203,43 @@ func (GoodputProbe) finish(env *scenarioEnv, res *Result) {
 	if window <= 0 {
 		return
 	}
-	for _, m := range env.meters {
-		rate := float64(m.bytes()-m.warmMark) * 8 / window
-		if m.attacker {
-			res.AttackerRates = append(res.AttackerRates, rate)
-		} else {
-			res.UserRates = append(res.UserRates, rate)
+	if !env.hasFleetMeters() {
+		// Fleet-free runs keep the historical arithmetic bit for bit.
+		for _, m := range env.meters {
+			rate := float64(m.bytes()-m.warmMark) * 8 / window
+			if m.attacker {
+				res.AttackerRates = append(res.AttackerRates, rate)
+			} else {
+				res.UserRates = append(res.UserRates, rate)
+			}
+		}
+		res.UserBps, _ = metrics.MeanStd(res.UserRates)
+		res.AttackerBps, _ = metrics.MeanStd(res.AttackerRates)
+	} else {
+		// Weighted means: a fleet meter's aggregate bytes stand for
+		// weight senders, so the population mean is Σ aggregate / Σ
+		// weight, and the recorded per-sender rate is aggregate/weight.
+		var userSum, userW, atkSum, atkW float64
+		for _, m := range env.meters {
+			agg := float64(m.bytes()-m.warmMark) * 8 / window
+			w := float64(m.weight)
+			if m.attacker {
+				res.AttackerRates = append(res.AttackerRates, agg/w)
+				atkSum += agg
+				atkW += w
+			} else {
+				res.UserRates = append(res.UserRates, agg/w)
+				userSum += agg
+				userW += w
+			}
+		}
+		if userW > 0 {
+			res.UserBps = userSum / userW
+		}
+		if atkW > 0 {
+			res.AttackerBps = atkSum / atkW
 		}
 	}
-	res.UserBps, _ = metrics.MeanStd(res.UserRates)
-	res.AttackerBps, _ = metrics.MeanStd(res.AttackerRates)
 	if res.AttackerBps > 0 {
 		res.Ratio = res.UserBps / res.AttackerBps
 	}
@@ -237,13 +264,26 @@ func (FairnessProbe) finish(env *scenarioEnv, res *Result) {
 	if window <= 0 {
 		return
 	}
-	var rates []float64
+	if !env.hasFleetMeters() {
+		var rates []float64
+		for _, m := range env.meters {
+			if !m.attacker {
+				rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+			}
+		}
+		res.Jain = metrics.Jain(rates)
+		return
+	}
+	// Fleet meters enter the index once per modeled sender, all at the
+	// fleet's per-sender rate: (Σ w·x)² / (Σw · Σ w·x²).
+	var rates, weights []float64
 	for _, m := range env.meters {
 		if !m.attacker {
-			rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+			rates = append(rates, float64(m.bytes()-m.warmMark)*8/window/float64(m.weight))
+			weights = append(weights, float64(m.weight))
 		}
 	}
-	res.Jain = metrics.Jain(rates)
+	res.Jain = metrics.JainWeighted(rates, weights)
 }
 
 // FCTProbe summarizes the transfer completion times collected by the
@@ -308,14 +348,25 @@ func (p BoundProbe) finish(env *scenarioEnv, res *Result) {
 	res.FairShareBps = float64(env.bottleneckBps()) / float64(senders)
 	res.BoundBps = nu * attack.TheoremBound(env.nfConfig(), env.bottleneckBps(), senders)
 	// Measured independently of GoodputProbe so probe order is free.
-	var rates []float64
+	if !env.hasFleetMeters() {
+		var rates []float64
+		for _, m := range env.meters {
+			if !m.attacker {
+				rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+			}
+		}
+		mean, _ := metrics.MeanStd(rates)
+		res.BoundHolds = len(rates) > 0 && mean >= res.BoundBps
+		return
+	}
+	var sum, wsum float64
 	for _, m := range env.meters {
 		if !m.attacker {
-			rates = append(rates, float64(m.bytes()-m.warmMark)*8/window)
+			sum += float64(m.bytes()-m.warmMark) * 8 / window
+			wsum += float64(m.weight)
 		}
 	}
-	mean, _ := metrics.MeanStd(rates)
-	res.BoundHolds = len(rates) > 0 && mean >= res.BoundBps
+	res.BoundHolds = wsum > 0 && sum/wsum >= res.BoundBps
 }
 
 // TimeseriesProbe samples aggregate user and attacker goodput every

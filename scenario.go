@@ -2,6 +2,7 @@ package netfence
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"strings"
 
 	// The baselines self-register in the defense registry; scenarios
@@ -134,9 +135,15 @@ type goodputMeter struct {
 	group, sender int
 	attacker      bool
 	shard         int
-	bytes         func() int64
-	warmMark      int64
-	tickMark      int64
+	// weight is how many modeled senders the meter aggregates: 1 for an
+	// ordinary sender, N for a fleet meter reading the combined sink of
+	// N homogeneous senders. Probes divide by weight for per-sender
+	// rates and weight the fairness statistics accordingly.
+	weight int
+	bytes  func() int64
+
+	warmMark int64
+	tickMark int64
 	// rates accumulates per-interval goodput when a TimeseriesProbe runs
 	// sharded: each owner shard appends locally, and the probe merges in
 	// global meter order at finish so the sums are bit-identical to the
@@ -218,9 +225,28 @@ func (env *scenarioEnv) group(g int, kind string) (*roleGroup, error) {
 // addMeter registers a goodput meter whose bytes closure reads state
 // owned by owner's shard (the receiver of the measured traffic).
 func (env *scenarioEnv) addMeter(owner *netsim.Node, group, sender int, attacker bool, bytes func() int64) {
+	env.addWeightedMeter(owner, group, sender, attacker, 1, bytes)
+}
+
+// hasFleetMeters reports whether any meter aggregates more than one
+// modeled sender. Probes take the weight-aware arithmetic only then, so
+// fleet-free runs keep their historical floating-point results bit for
+// bit.
+func (env *scenarioEnv) hasFleetMeters() bool {
+	for _, m := range env.meters {
+		if m.weight > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// addWeightedMeter registers a meter standing for weight modeled
+// senders (a fleet's combined sink).
+func (env *scenarioEnv) addWeightedMeter(owner *netsim.Node, group, sender int, attacker bool, weight int, bytes func() int64) {
 	env.meters = append(env.meters, &goodputMeter{
 		group: group, sender: sender, attacker: attacker,
-		shard: env.shardOf(owner), bytes: bytes,
+		shard: env.shardOf(owner), weight: weight, bytes: bytes,
 	})
 }
 
@@ -256,6 +282,35 @@ func (env *scenarioEnv) mergedFCT() *metrics.FCT {
 		m.Merge(f)
 	}
 	return m
+}
+
+// fleetRand returns a fleet's private deterministic RNG stream, keyed
+// by the attachment node's ID. Sharded engines serve it from
+// sim.KeyStream; the single engine constructs the identical PCG
+// directly (KeyStream's sharded derivation with base = Scenario.Seed),
+// so one fleet draws the same jitter sequence on every shard layout —
+// shards=1 included. This is what makes aggregate-fleet results
+// byte-identical across shard counts.
+func (env *scenarioEnv) fleetRand(n *netsim.Node) *rand.Rand {
+	if r := n.Network().Eng.KeyStream(uint64(n.ID)); r != nil {
+		return r
+	}
+	return rand.New(rand.NewPCG(env.sc.Seed^0x9e3779b97f4a7c15, uint64(n.ID)))
+}
+
+// needsFanout reports whether the scenario's timeline forces fleet
+// workloads to materialize exact per-sender hosts: deployment mutations
+// re-partition which senders sit behind a deployed access router, which
+// invalidates the closed-form aggregation of per-sender limiter state.
+// Link and attack mutations are aggregation-safe — they change what the
+// fleet experiences, not who polices it.
+func (env *scenarioEnv) needsFanout() bool {
+	for i := range env.sc.Timeline {
+		if env.sc.Timeline[i].Deploy != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // newFlow allocates an attachment-time flow ID from the run-global

@@ -103,6 +103,40 @@ func resolveAutoShards(g *Graph) int {
 	return n
 }
 
+// applyFleetWeights stamps aggregate-mode FleetSpec weights onto bt's
+// sender nodes. Only specs that will actually aggregate count: exact
+// fan-out (explicit or forced by deployment mutations) keeps weight 1.
+// Malformed specs are skipped here — attachment reports their errors
+// with full context.
+func (s *Scenario) applyFleetWeights(bt *builtTopo) {
+	fanout := false
+	for i := range s.Timeline {
+		if s.Timeline[i].Deploy != nil {
+			fanout = true
+			break
+		}
+	}
+	for _, w := range s.Workloads {
+		fs, ok := w.(FleetSpec)
+		if !ok || fs.Exact || fanout {
+			continue
+		}
+		if fs.Count <= 0 || len(fs.Senders) == 0 || fs.Count%len(fs.Senders) != 0 {
+			continue
+		}
+		if fs.Group < 0 || fs.Group >= len(bt.groups) {
+			continue
+		}
+		weight := fs.Count / len(fs.Senders)
+		grp := &bt.groups[fs.Group]
+		for _, idx := range fs.Senders {
+			if idx >= 0 && idx < len(grp.senders) {
+				grp.senders[idx].Weight = int32(weight)
+			}
+		}
+	}
+}
+
 // buildSharded constructs the partitioned form of the scenario:
 // per-shard engines and network replicas, mailbox-wired cut links, a
 // coordinator, and a scenarioEnv whose role view hands every workload
@@ -132,6 +166,11 @@ func (s Scenario) buildSharded(shards int) (*Instance, error) {
 			return s.buildSingle()
 		}
 	}
+	// Stamp aggregate-fleet weights before partitioning: the load
+	// balance must count a fleet attachment point as the modeled senders
+	// it stands for, not as one host. Workload attachment re-stamps the
+	// owning replica's copies later; this pass only informs the split.
+	s.applyFleetWeights(bt0)
 	part, err := bt0.graph.Partition(shards)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: Shards=%d: %w", s.Name, shards, err)

@@ -436,11 +436,15 @@ func builtFromGraph(name string, g *topo.Graph) *builtTopo {
 	return bt
 }
 
-// senderCount is the topology's actual total sender population.
+// senderCount is the topology's actual total sender population,
+// counting each fleet attachment point as the modeled senders it
+// stands for (SenderWeight; 1 for ordinary hosts).
 func (bt *builtTopo) senderCount() int {
 	n := 0
 	for i := range bt.groups {
-		n += len(bt.groups[i].senders)
+		for _, s := range bt.groups[i].senders {
+			n += s.SenderWeight()
+		}
 	}
 	return n
 }

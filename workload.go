@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"netfence/internal/attack"
+	"netfence/internal/obs"
 	"netfence/internal/packet"
 	"netfence/internal/transport"
 )
@@ -265,7 +266,10 @@ type floodSpec struct {
 	on, off     Time
 	offRate     int64
 	toColluders bool
-	kind        string
+	// legit marks the senders as legitimate: they stay off the deny set
+	// and meter as users, not attackers (exact-fanout legitimate fleets).
+	legit bool
+	kind  string
 }
 
 func attachFlood(env *scenarioEnv, spec floodSpec) error {
@@ -297,17 +301,139 @@ func attachFlood(env *scenarioEnv, spec floodSpec) error {
 		var dstHost = grp.victim
 		if spec.toColluders {
 			dstHost = grp.colluders[k%len(grp.colluders)]
-		} else {
+		} else if !spec.legit {
 			env.denySet[h.ID] = true
 		}
 		flow := env.newFlow()
 		sink := transport.NewUDPSink(dstHost.Host, flow)
-		env.addMeter(dstHost, spec.group, idx, true, func() int64 { return int64(sink.Bytes) })
+		env.addMeter(dstHost, spec.group, idx, !spec.legit, func() int64 { return int64(sink.Bytes) })
 		u := transport.NewUDPSource(h.Host, dstHost.ID, flow, rate, pktSize)
 		u.OnTime, u.OffTime = spec.on, spec.off
 		u.OffRateBps = spec.offRate
 		env.stoppers = append(env.stoppers, u)
 		u.Start()
+	}
+	return nil
+}
+
+// FleetSpec models Count statistically homogeneous UDP senders with
+// only len(Senders) materialized hosts — the million-sender aggregation
+// layer. Each listed sender host becomes a fleet attachment point
+// standing for Count/len(Senders) modeled senders: its node carries the
+// fleet weight, the access router scales the per-(sender, bottleneck)
+// AIMD limiter and request token bucket by that weight in closed form,
+// and one transport.FleetSource emits the fleet's combined offered load
+// with jitter drawn from a per-fleet deterministic RNG stream (derived
+// from sim.KeyStream, so results are byte-identical across shard
+// counts). Probes divide the fleet meter by its weight, so per-sender
+// goodput, fairness and Theorem-1 bounds read exactly as if the fleet
+// were materialized.
+//
+// Exact fan-out contract: when per-sender identity matters the fleet
+// materializes one real sender per modeled sender instead. That happens
+// when Exact is set, and is forced when the scenario timeline contains
+// deployment mutations (they change who polices each sender, which the
+// closed-form aggregation cannot track). Forced or explicit fan-out
+// requires Count == len(Senders); the fan-out path is byte-identical to
+// UDPFlood/LongTCP-style individual attachment by construction (it is
+// the same code path). Attack controllers (AttackSpec) never aggregate:
+// adaptive strategies address senders individually by design.
+type FleetSpec struct {
+	// Count is the total modeled sender population of the fleet.
+	Count int
+	// Senders are the attachment host indices within Group. In
+	// aggregate mode Count must divide evenly among them.
+	Senders []int
+	Group   int
+	// RateBps is the PER-MODELED-SENDER offered load (0 = 1 Mbps).
+	RateBps int64
+	// PktSize is the on-wire packet size (0 = 1500 B).
+	PktSize int32
+	// Attacker marks the fleet hostile: meters count it as attack
+	// traffic and victim-bound senders join the deny set when the
+	// scenario sets DenyAttackers.
+	Attacker bool
+	// ToColluders aims the fleet at the group's colluder hosts
+	// (round-robin over attachment points) instead of the victim.
+	ToColluders bool
+	// Exact forces per-sender fan-out (requires Count == len(Senders)).
+	Exact bool
+}
+
+func (w FleetSpec) span() (string, int, int) { return "FleetSpec", w.Group, maxIndex(w.Senders) }
+
+func (w FleetSpec) attach(env *scenarioEnv) error {
+	if w.Count <= 0 {
+		return fmt.Errorf("FleetSpec: Count must be positive, got %d", w.Count)
+	}
+	if len(w.Senders) == 0 {
+		return fmt.Errorf("FleetSpec: no attachment senders listed")
+	}
+	if w.Exact || env.needsFanout() {
+		if w.Count != len(w.Senders) {
+			reason := "Exact is set"
+			if !w.Exact {
+				reason = "the timeline contains deployment mutations (aggregation cannot track per-sender policing changes)"
+			}
+			return fmt.Errorf("FleetSpec: exact fan-out required because %s, but Count=%d != %d attachment senders",
+				reason, w.Count, len(w.Senders))
+		}
+		return attachFlood(env, floodSpec{
+			senders: w.Senders, group: w.Group, rate: w.RateBps,
+			pktSize: w.PktSize, toColluders: w.ToColluders,
+			legit: !w.Attacker, kind: "FleetSpec",
+		})
+	}
+	if w.Count%len(w.Senders) != 0 {
+		return fmt.Errorf("FleetSpec: Count %d does not divide evenly among %d attachment senders",
+			w.Count, len(w.Senders))
+	}
+	weight := w.Count / len(w.Senders)
+	grp, err := env.group(w.Group, "FleetSpec")
+	if err != nil {
+		return err
+	}
+	if w.ToColluders && len(grp.colluders) == 0 {
+		return fmt.Errorf("FleetSpec: topology has no colluder hosts in group %d (set ColluderASes)", w.Group)
+	}
+	if !w.ToColluders {
+		if _, err := grp.victimHost("FleetSpec"); err != nil {
+			return err
+		}
+	}
+	rate := w.RateBps
+	if rate <= 0 {
+		rate = 1_000_000
+	}
+	pktSize := w.PktSize
+	if pktSize <= 0 {
+		pktSize = packet.SizeData
+	}
+	for k, idx := range w.Senders {
+		h, err := grp.sender(idx, "FleetSpec")
+		if err != nil {
+			return err
+		}
+		var dstHost = grp.victim
+		if w.ToColluders {
+			dstHost = grp.colluders[k%len(grp.colluders)]
+		} else if w.Attacker {
+			env.denySet[h.ID] = true
+		}
+		// The attachment node carries the fleet weight: the access
+		// router reads it when creating this sender's limiters, the
+		// partition reads it for load balancing, and senderCount folds
+		// it into the population the Theorem-1 probe divides by.
+		h.Weight = int32(weight)
+		flow := env.newFlow()
+		sink := transport.NewUDPSink(dstHost.Host, flow)
+		env.addWeightedMeter(dstHost, w.Group, idx, w.Attacker, weight, func() int64 { return int64(sink.Bytes) })
+		fs := transport.NewFleetSource(h.Host, dstHost.ID, flow, weight, rate, pktSize, env.fleetRand(h))
+		cells := h.Host.Network().Cells
+		cells.Add(obs.FleetAttached, 1)
+		cells.Add(obs.FleetModeledSenders, uint64(weight))
+		env.stoppers = append(env.stoppers, fs)
+		fs.Start()
 	}
 	return nil
 }
