@@ -146,6 +146,8 @@ func main() {
 
 		shards = flag.Int("shards", 1, "partition scenario topologies into this many per-AS shards, one engine per shard (1 = classic single engine; -1 = one shard per CPU). Applies to -sweep and the -bench-scale large/huge cells; the -exp figures drive the low-level API and stay single-engine")
 
+		pipelineFlag = flag.String("pipeline", "auto", "sharded validation pipeline: auto (on exactly when it pays — sharded NetFence with Passport verification) | on | off. Results are byte-identical in every mode; only wall-clock speed changes")
+
 		serveMode    = flag.Bool("serve", false, "run the simulation service (HTTP job queue + SSE streaming + live control) instead of a batch command")
 		addr         = flag.String("addr", "127.0.0.1:8080", "serve: listen address (use :0 for an ephemeral port)")
 		serveWorkers = flag.Int("serve-workers", 2, "serve: jobs run concurrently")
@@ -176,6 +178,12 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	pipe, err := netfence.ParsePipelineMode(*pipelineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cliPipeline = pipe
 
 	// Profile teardown must survive every exit path — fatal() and the
 	// bench-gate os.Exit(1) bypass defers, so they flush explicitly
@@ -630,6 +638,7 @@ func collusionBaseFor(topoName string, bottleneck int64, durationSec, shards int
 			Workloads: wl,
 			Duration:  netfence.Time(durationSec) * netfence.Second,
 			Shards:    shards, // -1 is netfence.AutoShards
+			Pipeline:  cliPipeline,
 		}
 	}
 }
@@ -822,6 +831,11 @@ func parseUints(csv string) ([]uint64, error) {
 	return out, nil
 }
 
+// cliPipeline is the parsed -pipeline mode, applied to every
+// scenario-driven cell the CLI builds (sweep, search, trace, bench).
+// Explicit A/B bench rows override it per row.
+var cliPipeline netfence.PipelineMode
+
 // benchNames is the fixed experiment-family suite timed by -bench-json:
 // one per major simulation shape (capability channel, collusion,
 // multi-bottleneck, analytic bound, incremental deployment, adaptive
@@ -848,6 +862,15 @@ type benchRow struct {
 	// CandidatesPerSec is set on the adversarial-search row only:
 	// evaluated attack configurations per wall second.
 	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
+	// Pipeline is the sharded validation-pipeline mode of the row's
+	// scenario ("" on figure rows and single-engine cells).
+	Pipeline string `json:"pipeline,omitempty"`
+	// SerializedNs lists each shard's accumulated execute-round wall
+	// nanoseconds on sharded cells — the serialized portion of the
+	// parallel run, whose maximum bounds the achievable speedup. The
+	// validation pipeline shrinks the bottleneck shard's slot by moving
+	// CMAC work into the drain phase. The bench gate ignores it.
+	SerializedNs []int64 `json:"serialized_ns,omitempty"`
 	// Counters is the suite's metric snapshot (deterministic and
 	// runtime planes merged: drops by reason, per-shard event counts,
 	// handoff batches) on scenario-driven rows; nil on the figure rows,
@@ -937,6 +960,66 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		}
 		return row
 	}
+	// annotate stamps a sharded cell's row with the realized pipeline
+	// state and the per-shard serialized execute time.
+	annotate := func(row *benchRow, sh *netfence.Sharding) {
+		if sh == nil {
+			return
+		}
+		row.Pipeline = "off"
+		if sh.Pipeline {
+			row.Pipeline = "on"
+		}
+		row.SerializedNs = sh.SerializedNanos()
+	}
+	// measureSharded is measure for scenario-driven sharded cells, with
+	// the row annotated from the (last attempt's) Sharding.
+	measureSharded := func(name, scName string, mk func(m *netfence.Meter) netfence.Scenario) benchRow {
+		var shInfo *netfence.Sharding
+		row := measure(name, scName, func(m *netfence.Meter) map[string]uint64 {
+			c, _, sh := runBenchScenarioFull(mk(m))
+			shInfo = sh
+			return c
+		})
+		annotate(&row, shInfo)
+		return row
+	}
+	// maxSerialized is the slowest shard's serialized seconds — the
+	// Amdahl bound of the row.
+	maxSerialized := func(row benchRow) float64 {
+		var mx int64
+		for _, v := range row.SerializedNs {
+			if v > mx {
+				mx = v
+			}
+		}
+		return float64(mx) / 1e9
+	}
+	// pipelineAB measures a Passport-enabled sharded scenario twice —
+	// pipeline off, then on — and reports the serialized-time reduction.
+	pipelineAB := func(name, scName string, mk func(pipe netfence.PipelineMode, m *netfence.Meter) netfence.Scenario) (off, on benchRow) {
+		off = measureSharded(name+"-nopipe", scName, func(m *netfence.Meter) netfence.Scenario {
+			return mk(netfence.PipelineOff, m)
+		})
+		on = measureSharded(name+"-pipe", scName, func(m *netfence.Meter) netfence.Scenario {
+			return mk(netfence.PipelineOn, m)
+		})
+		if off.WallSeconds > 0 && on.WallSeconds > 0 {
+			fmt.Fprintf(os.Stderr,
+				"pipeline A/B (%s): wall %.2fs -> %.2fs (%.2fx); max shard serialized %.2fs -> %.2fs\n",
+				name, off.WallSeconds, on.WallSeconds, off.WallSeconds/on.WallSeconds,
+				maxSerialized(off), maxSerialized(on))
+		}
+		return off, on
+	}
+	// passportVariant derives the Passport-enabled A/B form of a cell
+	// scenario.
+	passportVariant := func(sc netfence.Scenario, name string, pipe netfence.PipelineMode) netfence.Scenario {
+		sc.Name = name
+		sc.Defense = netfence.DefenseSpec{Name: "netfence", Config: passportConfig()}
+		sc.Pipeline = pipe
+		return sc
+	}
 
 	hostname, _ := os.Hostname()
 	rep := benchReport{
@@ -967,8 +1050,17 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		}
 		if shards > 1 || shards == -1 {
 			n := displayShards(shards)
-			rep.Rows = append(rep.Rows, measure(fmt.Sprintf("collusion-shards%d", n), "tiny",
-				func(m *netfence.Meter) map[string]uint64 { return runShardedSmoke(shards, n, m) }))
+			rep.Rows = append(rep.Rows, measureSharded(fmt.Sprintf("collusion-shards%d", n), "tiny",
+				func(m *netfence.Meter) netfence.Scenario { return shardedSmokeScenario(shards, n, m) }))
+			// Pipeline A/B on the Passport-enabled smoke: same cell with
+			// per-packet source-AS authentication, validated inline (off)
+			// vs precomputed at the drain barrier (on).
+			abName := fmt.Sprintf("collusion-passport-shards%d", n)
+			off, on := pipelineAB(abName, "tiny",
+				func(pipe netfence.PipelineMode, m *netfence.Meter) netfence.Scenario {
+					return passportVariant(shardedSmokeScenario(shards, n, m), abName, pipe)
+				})
+			rep.Rows = append(rep.Rows, off, on)
 		}
 		// The adversarial-search row: throughput of the optimizer loop
 		// itself, in candidates per second.
@@ -989,21 +1081,31 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 		// sharded, with one engine per partition. With -shards the
 		// single-engine twin runs first so the report carries both rows
 		// and the events-per-second speedup is printed.
-		cell := runLargeCell
+		mkCell := largeScenario
 		if scale == "huge" {
-			cell = runHugeCell
+			mkCell = hugeScenario
 		}
-		single := measure("random-as-"+scale, scale, func(m *netfence.Meter) map[string]uint64 { return cell(1, m) })
+		single := measure("random-as-"+scale, scale,
+			func(m *netfence.Meter) map[string]uint64 { return runBenchScenario(mkCell(1, m)) })
 		rep.Rows = append(rep.Rows, single)
 		if shards > 1 || shards == -1 {
 			n := displayShards(shards)
-			sharded := measure(fmt.Sprintf("random-as-%s-shards%d", scale, n), scale,
-				func(m *netfence.Meter) map[string]uint64 { return cell(shards, m) })
+			sharded := measureSharded(fmt.Sprintf("random-as-%s-shards%d", scale, n), scale,
+				func(m *netfence.Meter) netfence.Scenario { return mkCell(shards, m) })
 			rep.Rows = append(rep.Rows, sharded)
 			if sharded.WallSeconds > 0 && single.WallSeconds > 0 {
 				fmt.Fprintf(os.Stderr, "sharded speedup (%s, %d shards): %.2fx wall, %.2fx events/sec\n",
 					scale, n, single.WallSeconds/sharded.WallSeconds, sharded.EventsPer/single.EventsPer)
 			}
+			// Pipeline A/B on the Passport-enabled cell: the bottleneck
+			// shard's inline CMAC verification is the serialized work the
+			// pipeline moves into the drain phase.
+			abName := fmt.Sprintf("random-as-%s-passport-shards%d", scale, n)
+			off, on := pipelineAB(abName, scale,
+				func(pipe netfence.PipelineMode, m *netfence.Meter) netfence.Scenario {
+					return passportVariant(mkCell(shards, m), abName, pipe)
+				})
+			rep.Rows = append(rep.Rows, off, on)
 		}
 	case "massive", "massive-smoke":
 		// The million-sender demonstration: fleet aggregation carries a
@@ -1027,12 +1129,15 @@ func runBenchJSON(scale, baselinePath string, shards int) bool {
 			name, p.population(), p.users+p.hosts, p.hosts, p.weight)
 		if shards > 1 || shards == -1 {
 			n := displayShards(shards)
+			var shInfo *netfence.Sharding
 			sharded := measure(fmt.Sprintf("%s-shards%d", name, n), scale,
 				func(m *netfence.Meter) map[string]uint64 {
-					c, raw := runBenchScenarioJSON(massiveScenario(name, p, shards, m))
+					c, raw, sh := runBenchScenarioFull(massiveScenario(name, p, shards, m))
 					shardedJSON = raw
+					shInfo = sh
 					return c
 				})
+			annotate(&sharded, shInfo)
 			rep.Rows = append(rep.Rows, sharded)
 			if shardedJSON != singleJSON {
 				fmt.Fprintf(os.Stderr, "%s: sharded Result diverged from the single engine\n", name)
@@ -1084,14 +1189,14 @@ func displayShards(shards int) int {
 	return shards
 }
 
-// runShardedSmoke is the CI sharded bench cell: the collusion mix on a
-// mid-size dumbbell, partitioned — small enough for the bench smoke
-// step, big enough that the mailbox handoff and window barriers carry
-// real traffic.
-func runShardedSmoke(shards, label int, m *netfence.Meter) map[string]uint64 {
+// shardedSmokeScenario builds the CI sharded bench cell: the collusion
+// mix on a mid-size dumbbell, partitioned — small enough for the bench
+// smoke step, big enough that the mailbox handoff and window barriers
+// carry real traffic.
+func shardedSmokeScenario(shards, label int, m *netfence.Meter) netfence.Scenario {
 	const pop = 128
 	users := pop / 4
-	return runBenchScenario(netfence.Scenario{
+	return netfence.Scenario{
 		Name:     fmt.Sprintf("collusion-shards%d", label),
 		Seed:     1,
 		Topology: netfence.DumbbellSpec{Senders: pop, BottleneckBps: pop * 100_000, ColluderASes: 9},
@@ -1103,8 +1208,18 @@ func runShardedSmoke(shards, label int, m *netfence.Meter) map[string]uint64 {
 		Duration: 20 * netfence.Second,
 		Warmup:   10 * netfence.Second,
 		Shards:   shards,
+		Pipeline: cliPipeline,
 		Meter:    m,
-	})
+	}
+}
+
+// passportConfig is the NetFence configuration with Passport source-AS
+// authentication enabled — the CMAC-heaviest configuration, whose
+// per-packet verification the validation pipeline parallelizes.
+func passportConfig() netfence.Config {
+	cfg := netfence.DefaultConfig()
+	cfg.Passport = true
+	return cfg
 }
 
 // runBenchScenario drives one scenario-driven bench cell and returns
@@ -1119,6 +1234,14 @@ func runBenchScenario(sc netfence.Scenario) map[string]uint64 {
 // so cells that run the same scenario at several shard counts can
 // assert byte-identity (the massive cell's determinism check).
 func runBenchScenarioJSON(sc netfence.Scenario) (map[string]uint64, string) {
+	counters, raw, _ := runBenchScenarioFull(sc)
+	return counters, raw
+}
+
+// runBenchScenarioFull is runBenchScenarioJSON plus the run's Sharding
+// (nil on the single engine), for rows recording pipeline state and
+// per-shard serialized time.
+func runBenchScenarioFull(sc netfence.Scenario) (map[string]uint64, string, *netfence.Sharding) {
 	in, err := sc.Build()
 	if err != nil {
 		fatal(err)
@@ -1132,7 +1255,7 @@ func runBenchScenarioJSON(sc netfence.Scenario) (map[string]uint64, string) {
 	counters := map[string]uint64{}
 	obs.MergeMap(counters, res.Counters)
 	obs.MergeMap(counters, in.RuntimeCounters())
-	return counters, string(raw)
+	return counters, string(raw), in.Sharding
 }
 
 // runSearchBench is the adversarial-search bench cell: a small
@@ -1161,14 +1284,14 @@ func runSearchBench(m *netfence.Meter) int {
 	return evals
 }
 
-// runLargeCell runs the large bench scenario: 10,240 senders (25%
+// largeScenario builds the large bench scenario: 10,240 senders (25%
 // long-running TCP users, 75% flooding attackers) over the random-as
 // transit core, NetFence fully deployed, partitioned into the given
 // number of per-AS shards (1 = the classic single engine).
-func runLargeCell(shards int, m *netfence.Meter) map[string]uint64 {
+func largeScenario(shards int, m *netfence.Meter) netfence.Scenario {
 	const pop = 10_240
 	users := pop / 4
-	return runBenchScenario(netfence.Scenario{
+	return netfence.Scenario{
 		Name: "random-as-large",
 		Seed: 1,
 		Topology: netfence.RandomASSpec{
@@ -1189,8 +1312,9 @@ func runLargeCell(shards int, m *netfence.Meter) map[string]uint64 {
 		Duration: 20 * netfence.Second,
 		Warmup:   10 * netfence.Second,
 		Shards:   shards,
+		Pipeline: cliPipeline,
 		Meter:    m,
-	})
+	}
 }
 
 // runHugeCell is the huge bench scenario: 65,536 senders over a larger
@@ -1200,10 +1324,10 @@ func runLargeCell(shards int, m *netfence.Meter) map[string]uint64 {
 // tables stay small thanks to stub compression; the per-AS shard count
 // (64 source ASes, 8 transit ASes) leaves the partitioner room up to
 // dozens of shards.
-func runHugeCell(shards int, m *netfence.Meter) map[string]uint64 {
+func hugeScenario(shards int, m *netfence.Meter) netfence.Scenario {
 	const pop = 65_536
 	users := pop / 4
-	return runBenchScenario(netfence.Scenario{
+	return netfence.Scenario{
 		Name: "random-as-huge",
 		Seed: 1,
 		Topology: netfence.RandomASSpec{
@@ -1222,8 +1346,9 @@ func runHugeCell(shards int, m *netfence.Meter) map[string]uint64 {
 		Duration: 10 * netfence.Second,
 		Warmup:   5 * netfence.Second,
 		Shards:   shards,
+		Pipeline: cliPipeline,
 		Meter:    m,
-	})
+	}
 }
 
 // massiveParams sizes a fleet-aggregated bench cell: `hosts` fleet
@@ -1296,6 +1421,7 @@ func massiveScenario(name string, p massiveParams, shards int, m *netfence.Meter
 		Duration: p.duration,
 		Warmup:   p.warmup,
 		Shards:   shards,
+		Pipeline: cliPipeline,
 		Meter:    m,
 	}
 }

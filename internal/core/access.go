@@ -146,6 +146,13 @@ func (ar *AccessRouter) trace(p *packet.Packet, kind, detail string) {
 	}
 }
 
+// traced reports whether p's flow is sampled by the flight recorder —
+// the gate hot paths check before building a trace detail string, so
+// untraced runs never pay the formatting allocation.
+func (ar *AccessRouter) traced(p *packet.Packet) bool {
+	return ar.node.Network().Rec.Sampled(uint32(p.Flow))
+}
+
 // police implements router.rate_limit_packet of Figure 18.
 func (ar *AccessRouter) police(p *packet.Packet) bool {
 	if p.Kind == packet.KindLegacy {
@@ -159,7 +166,7 @@ func (ar *AccessRouter) police(p *packet.Packet) bool {
 	}
 	cells := ar.node.Network().Cells
 	nowSec := ar.node.Network().NowSec()
-	switch feedback.Validate(ar.ring, ar.kaiLookup, p, nowSec, ar.sys.Cfg.WSec) {
+	switch ar.validate(p, nowSec) {
 	case feedback.ValidNop:
 		feedback.StampNop(ar.ring.Current(), p, nowSec)
 		cells.Add(obs.CoreStampNop, 1)
@@ -184,6 +191,24 @@ func (ar *AccessRouter) police(p *packet.Packet) bool {
 		p.Prio = 0
 		return ar.handleRequest(p)
 	}
+}
+
+// validate resolves the packet's feedback verdict: a verdict
+// precomputed by the sharded validation pipeline is consumed when its
+// binding (this router, the current key epoch) still holds; everything
+// else validates inline. The epoch check makes a stale cache — one
+// computed under a key the ring has since rotated past — harmless
+// rather than wrong.
+func (ar *AccessRouter) validate(p *packet.Packet, nowSec uint32) feedback.Verdict {
+	if p.FVSet {
+		hit := p.FVNode == ar.node.ID && p.FVEpoch == ar.ring.Epoch()
+		p.FVSet = false
+		if hit {
+			ar.node.Network().Cells.Add(obs.PipelinePrecomputeHits, 1)
+			return feedback.Verdict(p.FVVerdict)
+		}
+	}
+	return feedback.Validate(ar.ring, ar.kaiLookup, p, nowSec, ar.sys.Cfg.WSec)
 }
 
 // handleRequest polices a request packet (Figure 15) and stamps nop
@@ -212,7 +237,9 @@ func (ar *AccessRouter) handleRequest(p *packet.Packet) bool {
 	}
 	ar.ReqAdmitted++
 	ar.node.Network().Cells.Add(obs.CoreRequestAdmitted, 1)
-	ar.trace(p, obs.HopPolice, "request admit prio="+strconv.Itoa(int(p.Prio)))
+	if ar.traced(p) {
+		ar.trace(p, obs.HopPolice, "request admit prio="+strconv.Itoa(int(p.Prio)))
+	}
 	if ar.sys.Cfg.MultiFeedback {
 		ar.stampMultiNop(p)
 	} else {

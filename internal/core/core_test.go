@@ -497,3 +497,34 @@ func TestKeyRotationTransparentToFlows(t *testing.T) {
 		}
 	}
 }
+
+// TestRequestPoliceZeroAlloc pins the hot-path fix in handleRequest:
+// when the flow is not sampled by the flight recorder, admitting a
+// request packet must not allocate — the "request admit prio=..."
+// trace detail is built only behind the traced() gate.
+func TestRequestPoliceZeroAlloc(t *testing.T) {
+	d, s := deploy(3, topo.DefaultDumbbell(2, 1_000_000), DefaultConfig())
+	ar := s.Access(d.SrcAccess[0])
+	src := d.Senders[0]
+	p := &packet.Packet{
+		Src: src.ID, SrcAS: src.AS, Dst: d.Victim.ID,
+		Kind: packet.KindRequest, Size: packet.SizeRequest,
+	}
+	// Warm up: the first admission allocates the per-sender limiter.
+	if !ar.police(p) {
+		t.Fatal("warm-up request dropped")
+	}
+	if d.Net.Rec.Sampled(uint32(p.Flow)) {
+		t.Fatal("test flow unexpectedly sampled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Kind = packet.KindRequest
+		p.Prio = 0 // level 0 is always admitted
+		if !ar.police(p) {
+			t.Fatal("request dropped mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("request admission allocates %.1f per packet, want 0", allocs)
+	}
+}

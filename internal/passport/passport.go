@@ -96,33 +96,56 @@ func (r *Registry) Stamp(p *packet.Packet, path []packet.ASID) {
 // re-verifying at a second router of an already-verified AS succeeds
 // without consuming anything — a transit AS verifies at ingress only.
 func (r *Registry) Verify(p *packet.Packet, transitAS packet.ASID) bool {
+	ok, consume := r.Check(p, transitAS, r.Key(p.SrcAS, transitAS))
+	Apply(p, consume)
+	return ok
+}
+
+// Check is Verify's pure half: it computes the verdict Verify would
+// return for p at transitAS without mutating the trailer. ok is the MAC
+// comparison; consume is the entry index a subsequent Apply must
+// consume, or -1 when Verify would not touch the trailer at all (no
+// trailer, AS already verified, AS absent, or key unknown). mac is the
+// instance to compute with — pass r.Key(p.SrcAS, transitAS) on the
+// owning goroutine, or a private Clone of it from a batch worker, since
+// CMAC scratch is not concurrent-safe.
+func (r *Registry) Check(p *packet.Packet, transitAS packet.ASID, mac *cmac.CMAC) (ok bool, consume int) {
 	st := &p.Passport
 	if !st.Present {
-		return false
+		return false, -1
 	}
 	// Already verified at this AS's ingress?
 	for i := 0; i < st.Next && i < len(st.Entries); i++ {
 		if st.Entries[i].AS == transitAS {
-			return true
+			return true, -1
 		}
 	}
 	for i := st.Next; i < len(st.Entries); i++ {
 		if st.Entries[i].AS != transitAS {
 			continue
 		}
-		key := r.Key(p.SrcAS, transitAS)
-		if key == nil {
-			return false
+		if mac == nil {
+			return false, -1
 		}
 		var buf [20]byte
-		want := key.Sum32(macInput(&buf, p, transitAS))
-		// Entries bypassed by this verification are invalidated: the
-		// packet demonstrably did not enter those ASes before this one.
-		for j := st.Next; j < i; j++ {
-			st.Entries[j].AS = -1
-		}
-		st.Next = i + 1
-		return want == st.Entries[i].MAC
+		want := mac.Sum32(macInput(&buf, p, transitAS))
+		return want == st.Entries[i].MAC, i
 	}
-	return false
+	return false, -1
+}
+
+// Apply is Verify's mutating half: it consumes the trailer entry a
+// Check verdict identified. Entries bypassed by the consumption are
+// invalidated — the packet demonstrably did not enter those ASes before
+// this one. Apply(p, -1) is a no-op, matching the Check verdicts that
+// carry no consumption.
+func Apply(p *packet.Packet, consume int) {
+	if consume < 0 {
+		return
+	}
+	st := &p.Passport
+	for j := st.Next; j < consume; j++ {
+		st.Entries[j].AS = -1
+	}
+	st.Next = consume + 1
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"sync"
+	"time"
 )
 
 // Coordinator drives N shard engines through conservative parallel
@@ -36,6 +37,13 @@ type Coordinator struct {
 	now     Time
 	windows uint64
 
+	// serialized accumulates each shard's execute-round wall-clock
+	// nanoseconds — the Amdahl-serial portion of the run that the
+	// validation pipeline exists to shrink. Slot i is written only on
+	// shard i's worker goroutine; read it after a Run* call returns (the
+	// closing barrier is the happens-before edge).
+	serialized []int64
+
 	jobs    []chan func(int)
 	wg      sync.WaitGroup
 	started bool
@@ -55,7 +63,12 @@ func NewCoordinator(engines []*Engine, lookahead Time, names []string) *Coordina
 			names[i] = fmt.Sprintf("%d", i)
 		}
 	}
-	return &Coordinator{engines: engines, lookahead: lookahead, names: names}
+	return &Coordinator{
+		engines:    engines,
+		lookahead:  lookahead,
+		names:      names,
+		serialized: make([]int64, len(engines)),
+	}
 }
 
 // SetDrain installs the mailbox drain hook, invoked on each shard's own
@@ -75,6 +88,23 @@ func (c *Coordinator) Windows() uint64 { return c.windows }
 
 // Now returns the frontier every shard has simulated up to.
 func (c *Coordinator) Now() Time { return c.now }
+
+// SerializedNanos returns a copy of the per-shard execute-round
+// wall-clock nanoseconds accumulated so far. Call it between Run*
+// calls, when every shard is parked at the closing barrier.
+func (c *Coordinator) SerializedNanos() []int64 {
+	out := make([]int64, len(c.serialized))
+	copy(out, c.serialized)
+	return out
+}
+
+// execute runs one shard's execute round, charging its wall-clock cost
+// to the shard's serialized-time slot.
+func (c *Coordinator) execute(i int, end Time) {
+	t0 := time.Now()
+	c.engines[i].RunBefore(end)
+	c.serialized[i] += int64(time.Since(t0))
+}
 
 // start spawns the labeled worker goroutines on first use.
 func (c *Coordinator) start() {
@@ -138,7 +168,7 @@ func (c *Coordinator) RunUntil(t Time) {
 		// time-t event would execute ahead of an arrival whose pedigree
 		// sorts before it.
 		c.round(func(i int) { c.doDrain(i, end) })
-		c.round(func(i int) { c.engines[i].RunBefore(end) })
+		c.round(func(i int) { c.execute(i, end) })
 		c.windows++
 		c.now = end
 	}
@@ -165,7 +195,7 @@ func (c *Coordinator) RunBefore(t Time) {
 			end = t
 		}
 		c.round(func(i int) { c.doDrain(i, end) })
-		c.round(func(i int) { c.engines[i].RunBefore(end) })
+		c.round(func(i int) { c.execute(i, end) })
 		c.windows++
 		c.now = end
 	}
@@ -181,7 +211,11 @@ func (c *Coordinator) settle(t Time) {
 	injected := make([]bool, len(c.engines))
 	for {
 		c.round(func(i int) { injected[i] = c.doDrain(i, t) })
-		c.round(func(i int) { c.engines[i].RunUntil(t) })
+		c.round(func(i int) {
+			t0 := time.Now()
+			c.engines[i].RunUntil(t)
+			c.serialized[i] += int64(time.Since(t0))
+		})
 		any := false
 		for _, in := range injected {
 			any = any || in
